@@ -1,0 +1,85 @@
+// E6 — ablation: each ingredient of the window maintenance earns its keep.
+// Variants: no GrowWindowLeft (breaks Property (e)), no MoveWindowRight
+// (breaks Property (f)), no Case-2 extra job (wastes the reserved
+// processor's leftover). All variants still emit feasible schedules; the
+// table shows the makespan inflation each one costs per workload family.
+//
+// Usage: bench_ablation [--jobs=N] [--seeds=K] [--csv]
+#include <iostream>
+
+#include "core/lower_bounds.hpp"
+#include "core/sos_engine.hpp"
+#include "core/validator.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+core::Time run_variant(const core::Instance& inst, bool grow_left,
+                       bool move_right, bool extra_job) {
+  const bool ablated = !(grow_left && move_right && extra_job);
+  core::SosEngine engine(
+      inst, {.window_cap = static_cast<std::size_t>(inst.machines() - 1),
+             .budget = inst.capacity(),
+             .allow_extra_job = extra_job,
+             .grow_left = grow_left,
+             .move_right = move_right,
+             // Ablated variants can genuinely break the paper's window
+             // invariants (that is the point); run them permissively.
+             .strict = !ablated});
+  core::Schedule schedule;
+  engine.run(schedule);
+  core::validate_or_throw(inst, schedule);
+  return schedule.makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 300));
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+  const bool csv = cli.has("csv");
+
+  util::Table table({"family", "m", "full/LB", "no_growleft/LB",
+                     "no_moveright/LB", "no_extra/LB"});
+  for (const std::string& family : workloads::instance_families()) {
+    for (const int m : {4, 8, 16}) {
+      util::Summary full, no_gl, no_mr, no_extra;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        workloads::SosConfig cfg;
+        cfg.machines = m;
+        cfg.capacity = 1'000'000;
+        cfg.jobs = jobs;
+        cfg.max_size = 4;
+        cfg.seed = seed;
+        const core::Instance inst = workloads::make_instance(family, cfg);
+        const double lb =
+            core::lower_bounds(inst).combined_exact().to_double();
+        full.add(static_cast<double>(run_variant(inst, true, true, true)) /
+                 lb);
+        no_gl.add(static_cast<double>(run_variant(inst, false, true, true)) /
+                  lb);
+        no_mr.add(static_cast<double>(run_variant(inst, true, false, true)) /
+                  lb);
+        no_extra.add(
+            static_cast<double>(run_variant(inst, true, true, false)) / lb);
+      }
+      table.add(family, m, util::fixed(full.mean()), util::fixed(no_gl.mean()),
+                util::fixed(no_mr.mean()), util::fixed(no_extra.mean()));
+    }
+  }
+
+  std::cout << "E6  Ablation of the window-maintenance ingredients "
+               "(ratios vs Eq. (1) lower bound)\n\n";
+  if (csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E3 — running time: Theorem 3.3 claims O((m+n)·n) for the fast-forward
+// implementation. google-benchmark sweeps n and m for the general and the
+// unit-size engines plus the stepwise reference on small inputs.
+#include <benchmark/benchmark.h>
+
+#include "core/sos_scheduler.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+core::Instance instance_for(std::size_t n, int m, core::Res max_size,
+                            std::uint64_t seed) {
+  workloads::SosConfig cfg;
+  cfg.machines = m;
+  cfg.capacity = 1'000'000;
+  cfg.jobs = n;
+  cfg.max_size = max_size;
+  cfg.seed = seed;
+  return workloads::uniform_instance(cfg);
+}
+
+void BM_ScheduleSos(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<int>(state.range(1));
+  const core::Instance inst = instance_for(n, m, 5, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_sos(inst).makespan());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_ScheduleSosUnit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<int>(state.range(1));
+  const core::Instance inst = instance_for(n, m, 1, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_sos_unit(inst).makespan());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_ScheduleSosStepwise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = instance_for(n, 8, 3, 44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::schedule_sos(inst, {.fast_forward = false}).makespan());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScheduleSos)
+    ->ArgsProduct({{1'000, 4'000, 16'000, 64'000, 256'000}, {4, 16, 64}})
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+BENCHMARK(BM_ScheduleSosUnit)
+    ->ArgsProduct({{1'000, 4'000, 16'000, 64'000, 256'000}, {4, 16, 64}})
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+BENCHMARK(BM_ScheduleSosStepwise)
+    ->Arg(500)
+    ->Arg(1'000)
+    ->Arg(2'000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

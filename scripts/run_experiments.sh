@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table (E1–E11) into results/, both as the
+# human-readable tables and as CSV. Assumes the project is built in build/.
+#
+#   scripts/run_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found — build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+for bin in "$BUILD"/bench/bench_*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  "$bin" | tee "$OUT/$name.txt"
+  # The google-benchmark binary (E3) has its own output format; the table
+  # benches also emit CSV.
+  if [[ "$name" != "bench_runtime" ]]; then
+    "$bin" --csv > "$OUT/$name.csv"
+  fi
+done
+
+echo
+echo "results written to $OUT/"

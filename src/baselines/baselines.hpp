@@ -1,0 +1,36 @@
+// Baseline schedulers for comparison experiments.
+//
+//  * schedule_garey_graham — single-resource list scheduling in the model of
+//    Garey & Graham [8] (paper §1.2): a job always holds its full requirement
+//    min(r_j, C) while running; at every completion the scheduler admits the
+//    next fitting jobs in list order. Classic ratio 3 − 3/m in that model.
+//  * schedule_sequential — one job at a time at intake min(r_j, C); the
+//    trivial baseline and the only scheduler valid for m = 1.
+//  * schedule_equal_split — naive fair sharing: up to m active jobs split the
+//    resource evenly (capped by r_j and remaining work), leftovers
+//    redistributed greedily. What a resource-oblivious scheduler would do.
+//
+// All baselines emit schedules that pass core::validate.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::baselines {
+
+enum class ListOrder {
+  kInput,                  ///< as given (after the instance's r-sort)
+  kDecreasingRequirement,  ///< r_j descending
+  kDecreasingTotal,        ///< s_j = p_j·r_j descending ("largest first")
+};
+
+[[nodiscard]] core::Schedule schedule_garey_graham(
+    const core::Instance& instance, ListOrder order = ListOrder::kInput);
+
+[[nodiscard]] core::Schedule schedule_sequential(
+    const core::Instance& instance);
+
+[[nodiscard]] core::Schedule schedule_equal_split(
+    const core::Instance& instance);
+
+}  // namespace sharedres::baselines

@@ -1,0 +1,41 @@
+// Packing algorithms.
+//
+//  * sliding_window_packing — Corollary 3.9: run the paper's unit-size
+//    sliding-window scheduler with m = k processors and read each time step
+//    as one bin. Asymptotic ratio 1 + 1/(k−1), running time O((k+n)·n).
+//  * next_fit_packing — the folklore NextFit for splittable items with a
+//    cardinality constraint: fill the current bin (splitting the running
+//    item) until it is full or holds k parts, then open a new one. This is
+//    the fast baseline in the 2 − 1/k ballpark the paper compares against.
+//  * pairing_packing — a largest/smallest pairing heuristic for k = 2 in the
+//    spirit of Chung et al. [4] (asymptotic 3/2 regime).
+#pragma once
+
+#include "binpack/packing.hpp"
+
+namespace sharedres::binpack {
+
+/// Corollary 3.9 packer. Requires k ≥ 2.
+[[nodiscard]] Packing sliding_window_packing(const PackingInstance& instance);
+
+/// NextFit with splittable items; `sort_decreasing` first orders items by
+/// non-increasing size (NextFit-Decreasing).
+[[nodiscard]] Packing next_fit_packing(const PackingInstance& instance,
+                                       bool sort_decreasing = false);
+
+/// Largest/smallest pairing, k = 2 only (throws otherwise): each bin takes
+/// the largest remaining item (or a capacity-sized part of it) and tops up
+/// with a part of the smallest remaining item.
+[[nodiscard]] Packing pairing_packing(const PackingInstance& instance);
+
+/// First-Fit-Decreasing with splitting: items by non-increasing size; each
+/// item goes into the first open bins with room and a free slot, splitting
+/// across several if necessary. Stronger than NextFit on mixed sizes but
+/// still without the window packer's guarantee. O(n · bins).
+[[nodiscard]] Packing first_fit_decreasing_packing(
+    const PackingInstance& instance);
+
+/// k ≥ 2: the asymptotic ratio 1 + 1/(k−1) of Corollary 3.9.
+[[nodiscard]] double sliding_window_ratio_bound(int cardinality);
+
+}  // namespace sharedres::binpack

@@ -1,0 +1,91 @@
+#include "binpack/packing.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::binpack {
+
+void PackingInstance::validate_input() const {
+  if (capacity < 1) throw std::invalid_argument("PackingInstance: capacity < 1");
+  if (cardinality < 1) {
+    throw std::invalid_argument("PackingInstance: cardinality < 1");
+  }
+  for (const Res w : items) {
+    if (w < 1) throw std::invalid_argument("PackingInstance: item size < 1");
+  }
+}
+
+PackingValidation validate(const PackingInstance& instance,
+                           const Packing& packing) {
+  auto fail = [](const std::string& msg) {
+    return PackingValidation{false, msg};
+  };
+  const std::size_t n = instance.items.size();
+  std::vector<Res> packed(n, 0);
+
+  for (std::size_t b = 0; b < packing.bins.size(); ++b) {
+    const auto& bin = packing.bins[b];
+    if (bin.size() > static_cast<std::size_t>(instance.cardinality)) {
+      std::ostringstream os;
+      os << "bin " << b << " holds " << bin.size() << " parts > k="
+         << instance.cardinality;
+      return fail(os.str());
+    }
+    Res used = 0;
+    std::vector<bool> seen(n, false);
+    for (const ItemPart& part : bin) {
+      if (part.item >= n) return fail("part with invalid item index");
+      if (part.amount <= 0) return fail("part with non-positive amount");
+      if (seen[part.item]) {
+        std::ostringstream os;
+        os << "bin " << b << " holds two parts of item " << part.item;
+        return fail(os.str());
+      }
+      seen[part.item] = true;
+      used = util::add_checked(used, part.amount);
+      packed[part.item] = util::add_checked(packed[part.item], part.amount);
+    }
+    if (used > instance.capacity) {
+      std::ostringstream os;
+      os << "bin " << b << " overfull: " << used << " > " << instance.capacity;
+      return fail(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (packed[i] != instance.items[i]) {
+      std::ostringstream os;
+      os << "item " << i << " packed " << packed[i] << " of "
+         << instance.items[i];
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+std::size_t PackingLowerBounds::combined() const {
+  return std::max({volume, parts, single});
+}
+
+PackingLowerBounds packing_lower_bounds(const PackingInstance& instance) {
+  instance.validate_input();
+  PackingLowerBounds lb;
+  Res total = 0;
+  util::i64 slots = 0;
+  for (const Res w : instance.items) {
+    total = util::add_checked(total, w);
+    const auto item_bins =
+        static_cast<std::size_t>(util::ceil_div(w, instance.capacity));
+    lb.single = std::max(lb.single, item_bins);
+    slots = util::add_checked(slots,
+                              std::max<util::i64>(1, static_cast<util::i64>(item_bins)));
+  }
+  lb.volume = static_cast<std::size_t>(util::ceil_div(total, instance.capacity));
+  lb.parts = static_cast<std::size_t>(
+      util::ceil_div(slots, static_cast<util::i64>(instance.cardinality)));
+  return lb;
+}
+
+}  // namespace sharedres::binpack

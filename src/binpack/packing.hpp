@@ -1,0 +1,67 @@
+// Bin packing with cardinality constraints and splittable items
+// (Chung, Graham, Mao, Varghese [4]; paper §1.2 and Corollary 3.9).
+//
+// Items of arbitrary positive size may be split across bins of capacity C;
+// each bin holds at most k item *parts*; minimize the number of bins. Sizes
+// are integer resource units, exactly as in the scheduling model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sharedres::binpack {
+
+using core::Res;
+
+struct PackingInstance {
+  Res capacity = 1;      ///< bin capacity C in units
+  int cardinality = 2;   ///< k: max item parts per bin
+  std::vector<Res> items;  ///< item sizes, ≥ 1 unit, may exceed capacity
+
+  /// Throws std::invalid_argument on malformed data.
+  void validate_input() const;
+};
+
+/// One part of an item placed in a bin.
+struct ItemPart {
+  std::size_t item = 0;
+  Res amount = 0;
+
+  friend bool operator==(const ItemPart&, const ItemPart&) = default;
+};
+
+/// A packing: bins in order, each a list of parts.
+struct Packing {
+  std::vector<std::vector<ItemPart>> bins;
+
+  [[nodiscard]] std::size_t bin_count() const { return bins.size(); }
+};
+
+struct PackingValidation {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Check: every part positive; ≤ k parts and ≤ C total per bin; every item
+/// packed to exactly its size.
+[[nodiscard]] PackingValidation validate(const PackingInstance& instance,
+                                         const Packing& packing);
+
+/// Lower bounds on the optimal bin count.
+struct PackingLowerBounds {
+  std::size_t volume = 0;  ///< ⌈Σ w_i / C⌉
+  std::size_t parts = 0;   ///< ⌈Σ_i max(1, ⌈w_i / C⌉) / k⌉ — slot counting
+  std::size_t single = 0;  ///< max_i ⌈w_i / C⌉ — one item alone
+
+  [[nodiscard]] std::size_t combined() const;
+};
+
+[[nodiscard]] PackingLowerBounds packing_lower_bounds(
+    const PackingInstance& instance);
+
+}  // namespace sharedres::binpack

@@ -1,0 +1,40 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sharedres::core {
+
+Instance::Instance(int machines, Res capacity, std::vector<Job> jobs)
+    : machines_(machines), capacity_(capacity), jobs_(std::move(jobs)) {
+  if (machines_ < 1) throw std::invalid_argument("Instance: machines < 1");
+  if (capacity_ < 1) throw std::invalid_argument("Instance: capacity < 1");
+  for (const Job& j : jobs_) {
+    if (j.size < 1) throw std::invalid_argument("Instance: job size < 1");
+    if (j.requirement < 1) {
+      throw std::invalid_argument("Instance: job requirement < 1");
+    }
+  }
+
+  // Stable sort by requirement keeps the caller's relative order among ties,
+  // which makes generator output (and therefore experiments) deterministic.
+  original_.resize(jobs_.size());
+  std::iota(original_.begin(), original_.end(), std::size_t{0});
+  std::stable_sort(original_.begin(), original_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs_[a].requirement < jobs_[b].requirement;
+                   });
+  std::vector<Job> sorted;
+  sorted.reserve(jobs_.size());
+  for (const std::size_t idx : original_) sorted.push_back(jobs_[idx]);
+  jobs_ = std::move(sorted);
+
+  for (const Job& j : jobs_) {
+    total_requirement_ = util::add_checked(total_requirement_, j.total_requirement());
+    total_size_ = util::add_checked(total_size_, j.size);
+    unit_size_ = unit_size_ && j.size == 1;
+  }
+}
+
+}  // namespace sharedres::core

@@ -1,0 +1,55 @@
+// An SoS problem instance: m processors, a shared resource, n jobs.
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+/// Immutable instance. Jobs are stored sorted by non-decreasing resource
+/// requirement (the paper's WLOG r_1 ≤ … ≤ r_n); `original_id(j)` recovers
+/// the caller's ordering.
+///
+/// `capacity()` is the per-step resource budget C in integer units; a job
+/// requirement of r units corresponds to the paper's r_j = r / C, so
+/// requirements above C model jobs that can never run at full efficiency
+/// (r_j > 1 in the paper's normalization, as allowed by the bin-packing view).
+class Instance {
+ public:
+  /// Validates and normalizes. Throws std::invalid_argument on: m < 1,
+  /// capacity < 1, empty job list allowed (trivial instance), any job with
+  /// size < 1 or requirement < 1.
+  Instance(int machines, Res capacity, std::vector<Job> jobs);
+
+  [[nodiscard]] int machines() const { return machines_; }
+  [[nodiscard]] Res capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+  /// Jobs sorted by non-decreasing requirement.
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const Job& job(JobId j) const { return jobs_[j]; }
+
+  /// Index of sorted job j in the constructor's job vector.
+  [[nodiscard]] std::size_t original_id(JobId j) const { return original_[j]; }
+
+  /// Σ_j s_j — total resource requirement of the instance (checked).
+  [[nodiscard]] Res total_requirement() const { return total_requirement_; }
+  /// Σ_j p_j — total processing volume (checked).
+  [[nodiscard]] Res total_size() const { return total_size_; }
+  /// True iff every job has p_j = 1.
+  [[nodiscard]] bool unit_size() const { return unit_size_; }
+
+ private:
+  int machines_;
+  Res capacity_;
+  std::vector<Job> jobs_;
+  std::vector<std::size_t> original_;
+  Res total_requirement_ = 0;
+  Res total_size_ = 0;
+  bool unit_size_ = true;
+};
+
+}  // namespace sharedres::core

@@ -1,0 +1,25 @@
+// A job of the SoS model (paper §1.1).
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+/// Job j with processing volume (size) p_j ∈ ℕ and resource requirement
+/// r_j > 0 (in resource units of the owning Instance). Running j with a
+/// per-step share of R units completes min(R / r_j, 1) units of volume, so j
+/// is equivalently done once it has accumulated s_j = p_j · r_j resource with
+/// per-step intake capped at r_j.
+struct Job {
+  Res size = 1;         ///< p_j ≥ 1
+  Res requirement = 1;  ///< r_j ≥ 1, in resource units (may exceed capacity)
+
+  /// Total resource requirement s_j = p_j · r_j (checked).
+  [[nodiscard]] Res total_requirement() const {
+    return util::mul_checked(size, requirement);
+  }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace sharedres::core

@@ -1,0 +1,34 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+
+namespace sharedres::core {
+
+Time LowerBounds::combined() const {
+  return std::max({resource, volume, longest_job});
+}
+
+util::Rational LowerBounds::combined_exact() const {
+  return std::max({resource_exact, volume_exact,
+                   util::Rational(longest_job)});
+}
+
+LowerBounds lower_bounds(const Instance& instance) {
+  LowerBounds lb;
+  const Res capacity = instance.capacity();
+  const auto m = static_cast<Res>(instance.machines());
+
+  lb.resource = util::ceil_div(instance.total_requirement(), capacity);
+  lb.volume = util::ceil_div(instance.total_size(), m);
+  lb.resource_exact = util::Rational(instance.total_requirement(), capacity);
+  lb.volume_exact = util::Rational(instance.total_size(), m);
+
+  for (const Job& job : instance.jobs()) {
+    const Res intake = std::min(job.requirement, capacity);
+    lb.longest_job =
+        std::max(lb.longest_job, util::ceil_div(job.total_requirement(), intake));
+  }
+  return lb;
+}
+
+}  // namespace sharedres::core

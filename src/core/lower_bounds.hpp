@@ -1,0 +1,40 @@
+// Lower bounds on the optimal makespan (paper Eq. (1) plus the per-job bound
+// the proof of Theorem 3.3 uses via |OPT| ≥ ⌈p⌉).
+#pragma once
+
+#include "core/instance.hpp"
+#include "util/rational.hpp"
+
+namespace sharedres::core {
+
+/// All makespan lower bounds for one instance, both as integers (ceiled, for
+/// reporting) and as exact rationals (for the tight ratio algebra of the
+/// Theorem-3.3 checks).
+struct LowerBounds {
+  /// ⌈Σ_j s_j / C⌉ — the resource can deliver at most C units per step
+  /// (Eq. (1), first term).
+  Time resource = 0;
+  /// ⌈Σ_j p_j / m⌉ — each job splits into ≥ ⌈s_j/r_j⌉ = p_j parts, each part
+  /// occupying one machine for one step (Eq. (1), second term).
+  Time volume = 0;
+  /// max_j ⌈s_j / min(r_j, C)⌉ — a single job's per-step intake is capped by
+  /// both its requirement and the capacity; for r_j ≤ C this is p_j. This is
+  /// the ⌈p⌉ ≤ |OPT| bound used in the proof of Theorem 3.3.
+  Time longest_job = 0;
+
+  /// Exact (un-ceiled) counterparts, used by the ratio tests.
+  util::Rational resource_exact;
+  util::Rational volume_exact;
+
+  /// max of the integer bounds — the strongest proven lower bound on |OPT|.
+  [[nodiscard]] Time combined() const;
+  /// max of {resource_exact, volume_exact, longest_job} as a Rational; still
+  /// a valid lower bound on |OPT| (it is ≤ combined()).
+  [[nodiscard]] util::Rational combined_exact() const;
+};
+
+/// Compute all lower bounds; O(n). Valid even for the preemptive relaxation
+/// (paper, below Eq. (1)), hence also valid for the bin-packing view.
+[[nodiscard]] LowerBounds lower_bounds(const Instance& instance);
+
+}  // namespace sharedres::core

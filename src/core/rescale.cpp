@@ -1,0 +1,48 @@
+#include "core/rescale.hpp"
+
+#include <stdexcept>
+
+namespace sharedres::core {
+
+Instance rescale_real_sizes(int machines, Res capacity,
+                            const std::vector<RealJob>& jobs,
+                            Res* scale_out) {
+  // First pass: p'_j and the exact rational r'_j = p_j·r_j / p'_j.
+  std::vector<Res> sizes;
+  std::vector<util::Rational> reqs;
+  sizes.reserve(jobs.size());
+  reqs.reserve(jobs.size());
+  Res lcm = 1;
+  for (const RealJob& rj : jobs) {
+    if (!(rj.size > util::Rational(0))) {
+      throw std::invalid_argument("rescale_real_sizes: size must be > 0");
+    }
+    if (rj.requirement < 1) {
+      throw std::invalid_argument("rescale_real_sizes: requirement < 1");
+    }
+    const Res p_up = rj.size.ceil();
+    const util::Rational r_new =
+        rj.size * util::Rational(rj.requirement) / util::Rational(p_up);
+    sizes.push_back(p_up);
+    reqs.push_back(r_new);
+    lcm = util::lcm_checked(lcm, r_new.den());
+  }
+
+  // Second pass: scale every requirement (and the capacity) by L so all
+  // values are integral; shares as fractions of the capacity are unchanged.
+  std::vector<Job> out;
+  out.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Res scaled =
+        util::mul_checked(reqs[j].num(), lcm / reqs[j].den());
+    if (scaled < 1) {
+      throw std::invalid_argument(
+          "rescale_real_sizes: requirement underflows to zero");
+    }
+    out.push_back(Job{sizes[j], scaled});
+  }
+  if (scale_out != nullptr) *scale_out = lcm;
+  return Instance(machines, util::mul_checked(capacity, lcm), std::move(out));
+}
+
+}  // namespace sharedres::core

@@ -1,0 +1,35 @@
+// Real-valued processing volumes (paper, remark below Eq. (1)).
+//
+// The paper assumes p_j ∈ ℕ for convenience and notes that all results carry
+// over to p_j ∈ ℝ_{>0} by rescaling p'_j = ⌈p_j⌉ and r'_j = s_j / p'_j: this
+// preserves every job's total requirement s_j = p_j·r_j (so the resource
+// bound of Eq. (1) is unchanged) and keeps the part-count bound, because
+// ⌈p'_j⌉ = ⌈p_j⌉. This header implements that rescaling exactly, for sizes
+// given as rationals.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/rational.hpp"
+
+namespace sharedres::core {
+
+/// A job with a real (rational) processing volume.
+struct RealJob {
+  util::Rational size;  ///< p_j > 0, e.g. 7/2
+  Res requirement = 1;  ///< r_j in resource units
+};
+
+/// Rescale to an equivalent integer-size instance:
+///   p'_j = ⌈p_j⌉,  r'_j chosen so that p'_j · r'_j = p_j · r_j exactly.
+/// To keep r'_j integral, all requirements are scaled by a common factor L
+/// (the lcm of the p'_j denominators after reduction), and the capacity is
+/// scaled by the same L — shares are unchanged as fractions of the
+/// capacity, so schedules of the result are schedules of the original.
+/// Returns the instance; `scale_out` (optional) receives L.
+[[nodiscard]] Instance rescale_real_sizes(int machines, Res capacity,
+                                          const std::vector<RealJob>& jobs,
+                                          Res* scale_out = nullptr);
+
+}  // namespace sharedres::core

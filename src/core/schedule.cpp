@@ -1,0 +1,50 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace sharedres::core {
+
+void Schedule::append(Time length, std::vector<Assignment> assignments) {
+  if (length <= 0) throw std::invalid_argument("Schedule::append: length <= 0");
+  if (!blocks_.empty() && blocks_.back().assignments == assignments) {
+    blocks_.back().length += length;
+  } else {
+    blocks_.push_back(Block{length, std::move(assignments)});
+  }
+  makespan_ += length;
+}
+
+void Schedule::for_each_block(
+    const std::function<void(Time, const Block&)>& fn) const {
+  Time t = 1;
+  for (const Block& b : blocks_) {
+    fn(t, b);
+    t += b.length;
+  }
+}
+
+void Schedule::for_each_step(
+    const std::function<void(Time, std::span<const Assignment>)>& fn) const {
+  Time t = 1;
+  for (const Block& b : blocks_) {
+    for (Time i = 0; i < b.length; ++i, ++t) {
+      fn(t, std::span<const Assignment>(b.assignments));
+    }
+  }
+}
+
+std::vector<Res> Schedule::credited(std::size_t num_jobs) const {
+  std::vector<Res> total(num_jobs, 0);
+  for (const Block& b : blocks_) {
+    for (const Assignment& a : b.assignments) {
+      if (a.job >= num_jobs) {
+        throw std::out_of_range("Schedule::credited: job id out of range");
+      }
+      total[a.job] = util::add_checked(
+          total[a.job], util::mul_checked(a.share, b.length));
+    }
+  }
+  return total;
+}
+
+}  // namespace sharedres::core

@@ -1,0 +1,65 @@
+// Schedule representation: a run-length-encoded sequence of time steps.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+/// One job's per-step resource share within a block of identical steps.
+struct Assignment {
+  JobId job = kNoJob;
+  Res share = 0;  ///< resource units granted per step; 0 < share ≤ min(r_j, C)
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+/// `length` consecutive time steps in which exactly the jobs in `assignments`
+/// run, each with the same per-step share. Fast-forwarded engines emit long
+/// blocks; stepwise engines emit length-1 blocks.
+struct Block {
+  Time length = 0;
+  std::vector<Assignment> assignments;
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// A complete schedule. Processor identity is implicit: the model's machines
+/// are identical and a non-preemptive job occupies one machine over one
+/// contiguous step interval, so a schedule is feasible w.r.t. machines iff no
+/// step runs more than m jobs (checked by ScheduleValidator).
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Append a block; merges with the previous block when identical.
+  void append(Time length, std::vector<Assignment> assignments);
+
+  [[nodiscard]] Time makespan() const { return makespan_; }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] bool empty() const { return blocks_.empty(); }
+
+  /// Invoke fn(first_step, block) for each block; first_step is 1-based.
+  void for_each_block(
+      const std::function<void(Time, const Block&)>& fn) const;
+
+  /// Invoke fn(t, assignments) for every individual step t = 1..makespan.
+  /// Expands blocks — use only for small schedules (tests, examples).
+  void for_each_step(
+      const std::function<void(Time, std::span<const Assignment>)>& fn) const;
+
+  /// Total resource units handed to each job over the whole schedule,
+  /// indexed by JobId; jobs never scheduled get 0.
+  [[nodiscard]] std::vector<Res> credited(std::size_t num_jobs) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<Block> blocks_;
+  Time makespan_ = 0;
+};
+
+}  // namespace sharedres::core

@@ -1,0 +1,58 @@
+#include "core/sos_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "core/sos_engine.hpp"
+#include "core/unit_engine.hpp"
+
+namespace sharedres::core {
+
+Schedule schedule_sos(const Instance& instance, const SosOptions& options) {
+  if (instance.machines() < 2) {
+    throw std::invalid_argument(
+        "schedule_sos requires m >= 2 (use baselines::schedule_sequential "
+        "for a single machine)");
+  }
+  Schedule out;
+  if (instance.empty()) return out;
+  SosEngine engine(instance,
+                   SosEngine::Params{
+                       .window_cap = static_cast<std::size_t>(
+                           instance.machines() - 1),
+                       .budget = instance.capacity(),
+                       .allow_extra_job = true,
+                   });
+  engine.run(out, options.fast_forward, options.observer);
+  return out;
+}
+
+Schedule schedule_sos_unit(const Instance& instance,
+                           const SosOptions& options) {
+  if (instance.machines() < 2) {
+    throw std::invalid_argument("schedule_sos_unit requires m >= 2");
+  }
+  if (!instance.unit_size()) {
+    throw std::invalid_argument("schedule_sos_unit requires unit-size jobs");
+  }
+  Schedule out;
+  if (instance.empty()) return out;
+  UnitEngine engine(instance);
+  engine.run(out, options.fast_forward, options.observer);
+  return out;
+}
+
+util::Rational sos_ratio_bound(int machines) {
+  if (machines < 3) {
+    throw std::invalid_argument("sos_ratio_bound requires m >= 3");
+  }
+  return util::Rational(2 * machines - 3, machines - 2);
+}
+
+util::Rational unit_ratio_bound(int machines) {
+  if (machines < 2) {
+    throw std::invalid_argument("unit_ratio_bound requires m >= 2");
+  }
+  return util::Rational(machines, machines - 1);
+}
+
+}  // namespace sharedres::core

@@ -1,0 +1,60 @@
+// Per-step instrumentation of the sliding-window algorithm.
+//
+// The proof of Theorem 3.3 rests on a per-step dichotomy — either the full
+// resource is used or all but one window job receive their full requirement —
+// and on the border-monotonicity of Lemma 3.8. Observers receive exactly the
+// quantities those arguments talk about, so tests and the E7 bench can check
+// them step by step.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+/// Which branch of Listing 1's resource-assignment case split ran.
+enum class StepCase {
+  kHeavy,  ///< Case 1: r(W ∖ F) ≥ 1 — full resource, max W possibly fractured
+  kLight,  ///< Case 2: r(W ∖ F) < 1 — all of W ∖ F at full requirement
+};
+
+struct StepInfo {
+  Time first_step = 0;  ///< 1-based index of the first step this info covers
+  Time repeat = 1;      ///< how many identical steps it covers (fast-forward)
+
+  std::vector<Assignment> shares;  ///< the step's resource assignment
+
+  std::size_t window_size = 0;  ///< |W| (before the Case-2 extra job, if any)
+  Res window_requirement = 0;   ///< r(W) in resource units
+  bool left_border = false;     ///< L_t(W) = ∅
+  bool right_border = false;    ///< R_t(W) = ∅
+  StepCase step_case = StepCase::kLight;
+  std::optional<JobId> fractured;  ///< the fractured job ι entering the step
+  bool extra_job_started = false;  ///< Case-2 leftover started min R_t(W)
+
+  Res resource_used = 0;                 ///< Σ shares
+  std::size_t full_requirement_jobs = 0; ///< #{j : share_j = r_j}
+};
+
+/// Observer interface; on_step is called once per emitted block.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepInfo& info) = 0;
+};
+
+/// Observer that simply records every StepInfo (tests, small runs).
+class RecordingObserver final : public StepObserver {
+ public:
+  void on_step(const StepInfo& info) override { steps_.push_back(info); }
+  [[nodiscard]] const std::vector<StepInfo>& steps() const { return steps_; }
+
+ private:
+  std::vector<StepInfo> steps_;
+};
+
+}  // namespace sharedres::core

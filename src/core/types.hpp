@@ -1,0 +1,25 @@
+// Fundamental types of the SoS model (paper §1.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/checked.hpp"
+
+namespace sharedres::core {
+
+/// Resource amounts, measured in integer "resource units". An Instance fixes
+/// a per-step capacity C; a share of x units corresponds to the paper's
+/// R_i(t) = x / C. All arithmetic on Res values is exact.
+using Res = util::i64;
+
+/// Discrete time steps, 1-based as in the paper (t ∈ ℕ).
+using Time = util::i64;
+
+/// Index of a job inside an Instance (jobs are sorted by requirement).
+using JobId = std::size_t;
+
+/// Sentinel for "no job".
+inline constexpr JobId kNoJob = static_cast<JobId>(-1);
+
+}  // namespace sharedres::core

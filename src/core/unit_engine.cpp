@@ -1,0 +1,217 @@
+#include "core/unit_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sharedres::core {
+
+namespace {
+
+void ensure(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(std::string("UnitEngine invariant: ") + msg);
+}
+
+}  // namespace
+
+UnitEngine::UnitEngine(const Instance& instance)
+    : inst_(&instance),
+      m_(static_cast<std::size_t>(instance.machines())),
+      capacity_(instance.capacity()) {
+  ensure(instance.unit_size(), "unit-size jobs required");
+  ensure(m_ >= 2, "m >= 2 required");
+
+  const std::size_t n = instance.size();
+  rem_.resize(n);
+  for (JobId j = 0; j < n; ++j) rem_[j] = instance.job(j).requirement;
+
+  head_ = n;
+  tail_ = n + 1;
+  next_.resize(n + 2);
+  prev_.resize(n + 2);
+  JobId last = head_;
+  for (JobId j = 0; j < n; ++j) {
+    next_[last] = j;
+    prev_[j] = last;
+    last = j;
+  }
+  next_[last] = tail_;
+  prev_[tail_] = last;
+  next_[tail_] = tail_;
+  prev_[head_] = head_;
+  remaining_jobs_ = n;
+
+  succ_.resize(n + 1);
+  for (JobId i = 0; i <= n; ++i) succ_[i] = i;  // index n == "past the end"
+}
+
+JobId UnitEngine::find_alive(JobId i) const {
+  while (succ_[i] != i) {
+    succ_[i] = succ_[succ_[i]];  // path halving
+    i = succ_[i];
+  }
+  return i;
+}
+
+void UnitEngine::finish(JobId j) {
+  unlink(j);
+  succ_[j] = j + 1;
+  --remaining_jobs_;
+  if (j == iota_) iota_ = kNoJob;
+}
+
+std::vector<JobId> UnitEngine::virtual_order() const {
+  std::vector<JobId> out;
+  for (JobId j = next_[head_]; j != tail_; j = next_[j]) out.push_back(j);
+  return out;
+}
+
+void UnitEngine::unlink(JobId j) {
+  next_[prev_[j]] = next_[j];
+  prev_[next_[j]] = prev_[j];
+}
+
+void UnitEngine::reposition_started(JobId j) {
+  // The key of j just shrank; re-insert it so the list stays sorted. Every
+  // node except j carries its static requirement as key, so the insertion
+  // point is: before the first *alive* static job whose requirement exceeds
+  // key(j) — found by binary search over the sorted requirements plus a
+  // next-alive DSU hop, O(log n) instead of a (potentially linear) walk.
+  if (prev_[j] == head_ || key(prev_[j]) <= key(j)) return;  // in place
+  unlink(j);
+  const auto& jobs = inst_->jobs();
+  const Res v = key(j);
+  auto it = std::upper_bound(jobs.begin(), jobs.end(), v,
+                             [](Res value, const Job& job) {
+                               return value < job.requirement;
+                             });
+  JobId f = find_alive(static_cast<JobId>(it - jobs.begin()));
+  if (f == j) f = find_alive(j + 1);  // skip the unlinked job itself
+  const JobId fnode = (f >= inst_->size()) ? tail_ : f;
+  const JobId p = prev_[fnode];
+  next_[p] = j;
+  prev_[j] = p;
+  next_[j] = fnode;
+  prev_[fnode] = j;
+}
+
+UnitEngine::StepPlan UnitEngine::build_window() const {
+  ensure(remaining_jobs_ > 0, "build_window after completion");
+  StepPlan plan;
+  // Start from the started job ι (the only survivor of the last window), or
+  // from the leftmost remaining job (GrowWindowRight on an empty window).
+  plan.wl = plan.wr = (iota_ != kNoJob) ? iota_ : next_[head_];
+  plan.wsize = 1;
+  plan.wkey = key(plan.wl);
+
+  // GrowWindowLeft(W, t, m, 1).
+  while (plan.wsize < m_ && prev_[plan.wl] != head_ && plan.wkey < capacity_) {
+    plan.wl = prev_[plan.wl];
+    ++plan.wsize;
+    plan.wkey = util::add_checked(plan.wkey, key(plan.wl));
+  }
+  // GrowWindowRight(W, t, m, 1).
+  while (plan.wkey < capacity_ && next_[plan.wr] != tail_ && plan.wsize < m_) {
+    plan.wr = next_[plan.wr];
+    ++plan.wsize;
+    plan.wkey = util::add_checked(plan.wkey, key(plan.wr));
+  }
+  // MoveWindowRight(W, t, 1): slide while the leftmost member is unstarted.
+  while (plan.wkey < capacity_ && next_[plan.wr] != tail_ && plan.wl != iota_) {
+    plan.wkey -= key(plan.wl);
+    plan.wl = next_[plan.wl];
+    plan.wr = next_[plan.wr];
+    plan.wkey = util::add_checked(plan.wkey, key(plan.wr));
+  }
+
+  const Res others = plan.wkey - key(plan.wr);
+  ensure(others < capacity_, "Property (b) violated by the unit window");
+  plan.max_share = std::min(capacity_ - others, key(plan.wr));
+  ensure(plan.max_share > 0, "unit window assigns max W a zero share");
+  return plan;
+}
+
+StepInfo UnitEngine::execute(const StepPlan& plan) {
+  StepInfo info;
+  info.first_step = now_ + 1;
+  info.repeat = 1;
+  info.window_size = plan.wsize;
+  info.window_requirement = plan.wkey;
+  info.left_border = prev_[plan.wl] == head_;
+  info.right_border = next_[plan.wr] == tail_;
+  info.step_case =
+      plan.wkey >= capacity_ ? StepCase::kHeavy : StepCase::kLight;
+  if (iota_ != kNoJob) info.fractured = iota_;
+
+  for (JobId j = plan.wl;; j = next_[j]) {
+    const Res share = (j == plan.wr) ? plan.max_share : key(j);
+    info.shares.push_back({j, share});
+    info.resource_used = util::add_checked(info.resource_used, share);
+    if (share == inst_->job(j).requirement) ++info.full_requirement_jobs;
+    if (j == plan.wr) break;
+  }
+
+  // Apply: every member except possibly wr finishes.
+  JobId j = plan.wl;
+  while (true) {
+    const JobId nxt = next_[j];
+    const bool is_max = (j == plan.wr);
+    const Res share = is_max ? plan.max_share : key(j);
+    rem_[j] -= share;
+    if (rem_[j] == 0) {
+      finish(j);
+    } else {
+      ensure(is_max, "non-max unit window job failed to finish");
+      iota_ = j;
+      reposition_started(j);
+    }
+    if (is_max) break;
+    j = nxt;
+  }
+  ++now_;
+  return info;
+}
+
+StepInfo UnitEngine::step() { return execute(build_window()); }
+
+void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
+  while (!done()) {
+    const StepPlan plan = build_window();
+
+    // Fast-forward: a solo window whose job absorbs the whole capacity
+    // repeats identically until the job's remainder drops below C.
+    if (fast_forward && plan.wsize == 1 && plan.max_share == capacity_ &&
+        key(plan.wr) > capacity_) {
+      const JobId j = plan.wr;
+      const Time reps = key(j) / capacity_;  // steps at full capacity
+      const Res leftover = key(j) - reps * capacity_;
+      StepInfo info;
+      info.first_step = now_ + 1;
+      info.repeat = reps;
+      info.shares = {{j, capacity_}};
+      info.window_size = 1;
+      info.window_requirement = plan.wkey;
+      info.left_border = prev_[j] == head_;
+      info.right_border = next_[j] == tail_;
+      info.step_case = StepCase::kHeavy;
+      if (iota_ != kNoJob) info.fractured = iota_;
+      info.resource_used = capacity_;
+      rem_[j] -= reps * capacity_;
+      now_ += reps;
+      if (leftover == 0) {
+        finish(j);
+      } else {
+        iota_ = j;
+        reposition_started(j);
+      }
+      out.append(reps, info.shares);
+      if (observer != nullptr) observer->on_step(info);
+      continue;
+    }
+
+    const StepInfo info = execute(plan);
+    out.append(1, info.shares);
+    if (observer != nullptr) observer->on_step(info);
+  }
+}
+
+}  // namespace sharedres::core

@@ -1,0 +1,83 @@
+// The unit-size variant of the sliding-window algorithm (paper Section 3,
+// discussion below Theorem 3.3).
+//
+// With p_j = 1 for all jobs, s_j = r_j and at most one job is ever started
+// but unfinished. That job ι is treated as a job of requirement s_ι(t−1) and
+// virtually reordered among the remaining jobs; windows may then use all m
+// processors (m-maximal instead of (m−1)-maximal), which improves the
+// asymptotic ratio from 1 + 2/(m−2) to 1 + 1/(m−1).
+//
+// The engine keeps the unfinished jobs in a doubly-linked list sorted by
+// *current* requirement (r_j for unstarted jobs, s_ι(t−1) for ι) and rebuilds
+// the window around ι every step: all window jobs except the rightmost finish
+// within the step, the rightmost becomes the new ι.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+class UnitEngine {
+ public:
+  /// Requires instance.unit_size() and m ≥ 2.
+  explicit UnitEngine(const Instance& instance);
+
+  [[nodiscard]] bool done() const { return remaining_jobs_ == 0; }
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Execute one time step; returns the emitted StepInfo.
+  StepInfo step();
+
+  /// Run to completion. fast_forward collapses the long solo runs of a
+  /// single high-requirement job into one block.
+  void run(Schedule& out, bool fast_forward = true,
+           StepObserver* observer = nullptr);
+
+  // ---- introspection for tests ----
+  [[nodiscard]] Res remaining(JobId j) const { return rem_[j]; }
+  /// Unfinished jobs in current virtual order (sorted by current key).
+  [[nodiscard]] std::vector<JobId> virtual_order() const;
+  /// The single started-but-unfinished job, or kNoJob.
+  [[nodiscard]] JobId started_job() const { return iota_; }
+
+ private:
+  struct StepPlan {
+    JobId wl = kNoJob, wr = kNoJob;  // window bounds in the virtual list
+    std::size_t wsize = 0;
+    Res wkey = 0;                    // Σ current keys over the window
+    Res max_share = 0;               // share granted to wr
+  };
+
+  [[nodiscard]] Res key(JobId j) const { return rem_[j]; }
+  [[nodiscard]] StepPlan build_window() const;
+  StepInfo execute(const StepPlan& plan);
+  void unlink(JobId j);
+  void finish(JobId j);
+  void reposition_started(JobId j);
+  /// First alive static job with index ≥ i (next-alive DSU, path halving).
+  [[nodiscard]] JobId find_alive(JobId i) const;
+
+  const Instance* inst_;
+  std::size_t m_;
+  Res capacity_;
+
+  std::vector<Res> rem_;  // current key; 0 = finished. Unstarted: r_j.
+  std::vector<JobId> next_, prev_;
+  JobId head_, tail_;
+  JobId iota_ = kNoJob;
+  /// Next-alive successor structure (DSU with path halving) over the static
+  /// sorted job array; lets reposition_started() find its insertion point by
+  /// binary search over requirements instead of a list walk, which is
+  /// quadratic overall for small m.
+  mutable std::vector<JobId> succ_;
+
+  std::size_t remaining_jobs_ = 0;
+  Time now_ = 0;
+};
+
+}  // namespace sharedres::core

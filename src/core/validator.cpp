@@ -1,0 +1,92 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sharedres::core {
+
+namespace {
+
+ValidationResult fail(const std::string& msg) { return {false, msg}; }
+
+}  // namespace
+
+ValidationResult validate(const Instance& instance, const Schedule& schedule) {
+  const std::size_t n = instance.size();
+  const Res capacity = instance.capacity();
+  const auto m = static_cast<std::size_t>(instance.machines());
+
+  // Per job: block-index interval of presence and accumulated credit.
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> first_block(n, kUnseen);
+  std::vector<std::size_t> last_block(n, kUnseen);
+  std::vector<Res> credit(n, 0);
+
+  const auto& blocks = schedule.blocks();
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& b = blocks[bi];
+    if (b.length <= 0) return fail("block with non-positive length");
+    if (b.assignments.size() > m) {
+      std::ostringstream os;
+      os << "block " << bi << " runs " << b.assignments.size() << " jobs > m="
+         << m;
+      return fail(os.str());
+    }
+    Res used = 0;
+    for (const Assignment& a : b.assignments) {
+      if (a.job >= n) return fail("assignment with invalid job id");
+      const Job& job = instance.job(a.job);
+      if (a.share <= 0) return fail("assignment with non-positive share");
+      if (a.share > job.requirement) {
+        std::ostringstream os;
+        os << "job " << a.job << " granted share " << a.share
+           << " above its requirement " << job.requirement;
+        return fail(os.str());
+      }
+      if (a.share > capacity) return fail("share exceeds resource capacity");
+      used = util::add_checked(used, a.share);
+
+      if (first_block[a.job] == kUnseen) {
+        first_block[a.job] = bi;
+      } else if (last_block[a.job] == bi) {
+        std::ostringstream os;
+        os << "job " << a.job << " scheduled twice in block " << bi;
+        return fail(os.str());
+      } else if (last_block[a.job] != bi - 1) {
+        std::ostringstream os;
+        os << "job " << a.job << " preempted: runs in blocks "
+           << last_block[a.job] << " and " << bi << " but not in between";
+        return fail(os.str());
+      }
+      last_block[a.job] = bi;
+      credit[a.job] = util::add_checked(
+          credit[a.job], util::mul_checked(a.share, b.length));
+    }
+    if (used > capacity) {
+      std::ostringstream os;
+      os << "block " << bi << " overuses the resource: " << used << " > "
+         << capacity;
+      return fail(os.str());
+    }
+  }
+
+  for (JobId j = 0; j < n; ++j) {
+    const Res need = instance.job(j).total_requirement();
+    if (credit[j] != need) {
+      std::ostringstream os;
+      os << "job " << j << " credited " << credit[j] << " units, needs exactly "
+         << need;
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+void validate_or_throw(const Instance& instance, const Schedule& schedule) {
+  const ValidationResult r = validate(instance, schedule);
+  if (!r.ok) throw std::logic_error("invalid schedule: " + r.error);
+}
+
+}  // namespace sharedres::core

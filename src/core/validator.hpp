@@ -1,0 +1,36 @@
+// Feasibility checking for schedules.
+//
+// A schedule is feasible for an instance iff:
+//  (V1) every assignment names a valid job with 0 < share ≤ min(r_j, C);
+//  (V2) no step runs the same job twice, nor more than m jobs;
+//  (V3) the resource is never overused: Σ shares ≤ C in every step;
+//  (V4) non-preemption / no migration: each job's processing steps form one
+//       contiguous interval (machines are identical, so "≤ m concurrent jobs"
+//       plus contiguity is exactly machine-feasibility);
+//  (V5) exact completion: each job is credited precisely s_j = p_j · r_j
+//       resource units (schedules must cap shares at the remaining
+//       requirement, so completion is equality, not ≥).
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::core {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< human-readable description of the first violation
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validate `schedule` against `instance`. Runs in O(total assignments).
+[[nodiscard]] ValidationResult validate(const Instance& instance,
+                                        const Schedule& schedule);
+
+/// Convenience for tests: throws std::logic_error with the violation message.
+void validate_or_throw(const Instance& instance, const Schedule& schedule);
+
+}  // namespace sharedres::core

@@ -1,0 +1,142 @@
+#include "core/window.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sharedres::core {
+
+namespace {
+
+WindowCheckResult fail(const std::string& msg) { return {false, msg}; }
+
+}  // namespace
+
+bool is_fractured(const Instance& instance, JobId j, Res remaining) {
+  return remaining > 0 && remaining % instance.job(j).requirement != 0;
+}
+
+WindowCheckResult check_window(const WindowSnapshot& snap) {
+  const Instance& inst = *snap.instance;
+  const std::size_t n = inst.size();
+  if (snap.remaining.size() != n) return fail("snapshot: remaining size mismatch");
+
+  std::vector<bool> in_window(n, false);
+  for (const JobId j : snap.window) {
+    if (j >= n) return fail("window contains invalid job id");
+    if (snap.remaining[j] <= 0) return fail("window contains a finished job");
+    if (in_window[j]) return fail("window contains a duplicate job");
+    in_window[j] = true;
+  }
+
+  // (a) Convexity: every unfinished job between two window members is a member.
+  if (!snap.window.empty()) {
+    const JobId lo = *std::min_element(snap.window.begin(), snap.window.end());
+    const JobId hi = *std::max_element(snap.window.begin(), snap.window.end());
+    for (JobId j = lo; j <= hi; ++j) {
+      if (snap.remaining[j] > 0 && !in_window[j]) {
+        std::ostringstream os;
+        os << "(a): unfinished job " << j << " inside [" << lo << ", " << hi
+           << "] missing from W";
+        return fail(os.str());
+      }
+    }
+  }
+
+  // (b) r(W ∖ {max W}) < budget.
+  if (!snap.window.empty()) {
+    const JobId hi = *std::max_element(snap.window.begin(), snap.window.end());
+    Res sum = 0;
+    for (const JobId j : snap.window) {
+      if (j != hi) sum = util::add_checked(sum, inst.job(j).requirement);
+    }
+    if (sum >= snap.budget) {
+      std::ostringstream os;
+      os << "(b): r(W∖{max}) = " << sum << " >= budget " << snap.budget;
+      return fail(os.str());
+    }
+  }
+
+  // (c) At most one fractured job in W.
+  std::size_t fractured = 0;
+  for (const JobId j : snap.window) {
+    if (is_fractured(inst, j, snap.remaining[j])) ++fractured;
+  }
+  if (fractured > 1) {
+    std::ostringstream os;
+    os << "(c): " << fractured << " fractured jobs in W";
+    return fail(os.str());
+  }
+
+  // (d) Jobs outside W are unstarted.
+  for (JobId j = 0; j < n; ++j) {
+    if (snap.remaining[j] > 0 && !in_window[j] &&
+        snap.remaining[j] != inst.job(j).total_requirement()) {
+      std::ostringstream os;
+      os << "(d): started job " << j << " outside W";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+WindowCheckResult check_k_maximal(const WindowSnapshot& snap) {
+  if (const WindowCheckResult base = check_window(snap); !base.ok) return base;
+  const Instance& inst = *snap.instance;
+  const std::size_t n = inst.size();
+
+  if (snap.window.size() > snap.k) {
+    std::ostringstream os;
+    os << "|W| = " << snap.window.size() << " > k = " << snap.k;
+    return fail(os.str());
+  }
+
+  const bool empty = snap.window.empty();
+  const JobId lo =
+      empty ? 0 : *std::min_element(snap.window.begin(), snap.window.end());
+  const JobId hi =
+      empty ? 0 : *std::max_element(snap.window.begin(), snap.window.end());
+
+  // L_t(W) / R_t(W): unfinished jobs strictly left / right of the window.
+  // For W = ∅ the paper defines L_t(∅) = ∅ and R_t(∅) = J(t−1).
+  bool left_nonempty = false;
+  bool right_nonempty = false;
+  for (JobId j = 0; j < n; ++j) {
+    if (snap.remaining[j] <= 0) continue;
+    if (empty) {
+      right_nonempty = true;
+    } else {
+      left_nonempty = left_nonempty || j < lo;
+      right_nonempty = right_nonempty || j > hi;
+    }
+  }
+
+  Res r_w = 0;
+  for (const JobId j : snap.window) {
+    r_w = util::add_checked(r_w, inst.job(j).requirement);
+  }
+
+  // (e′) |W| < k ⇒ (L_t(W) = ∅ ∨ r(W) ≥ budget).
+  //
+  // REPRODUCTION NOTE: the paper's Definition 3.1(e) states |W| < k ⇒
+  // L_t(W) = ∅ with no exception, but Listing 2's GrowWindowLeft stops
+  // growing as soon as r(W) ≥ R, so the algorithm as printed cannot maintain
+  // the literal property (Claim 3.6's proof overlooks that guard; see
+  // tests/test_window.cpp::PaperDefinitionEIsViolatedByTheListing for a
+  // concrete instance). The weaker (e′) is what the procedures guarantee,
+  // and it suffices for Theorem 3.3: a small window stuck off the left
+  // border has r(W) ≥ R, so that step still uses the full resource.
+  if (snap.window.size() < snap.k && left_nonempty && r_w < snap.budget) {
+    return fail("(e'): |W| < k but L_t(W) != empty and r(W) < budget");
+  }
+
+  // (f) r(W) < budget ⇒ R_t(W) = ∅.
+  if (r_w < snap.budget && right_nonempty) {
+    std::ostringstream os;
+    os << "(f): r(W) = " << r_w << " < budget " << snap.budget
+       << " but R_t(W) != empty";
+    return fail(os.str());
+  }
+  return {};
+}
+
+}  // namespace sharedres::core

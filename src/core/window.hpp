@@ -1,0 +1,49 @@
+// Job windows (paper Definition 3.1) — declarative checker.
+//
+// The scheduling engine maintains windows incrementally (Listing 2); this
+// header provides an independent, from-the-definition checker used by the
+// test suite to certify, at every step, that the engine's window really is a
+// k-maximal job window. Keeping the checker separate from the engine is what
+// makes the property tests meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::core {
+
+/// A snapshot of the scheduler state entering a time step t.
+struct WindowSnapshot {
+  const Instance* instance = nullptr;
+  /// s_j(t−1) per job; 0 means finished, s_j means not yet started.
+  std::vector<Res> remaining;
+  /// The window W as sorted job ids (subset of the unfinished jobs).
+  std::vector<JobId> window;
+  /// Size limit k (m−1 for Listing 1, m for the unit-size variant).
+  std::size_t k = 0;
+  /// Resource budget R in units (the full capacity in Section 3; smaller in
+  /// the Section-4 task algorithms).
+  Res budget = 0;
+};
+
+struct WindowCheckResult {
+  bool ok = true;
+  std::string violation;  ///< first violated property, e.g. "(b): r(W∖{max}) = ..."
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Check Definition 3.1 properties (a)–(d): W is a job window.
+[[nodiscard]] WindowCheckResult check_window(const WindowSnapshot& snap);
+
+/// Check Definition 3.1 in full: W is a k-maximal job window
+/// (properties (a)–(d), |W| ≤ k, (e) and (f)).
+[[nodiscard]] WindowCheckResult check_k_maximal(const WindowSnapshot& snap);
+
+/// True iff job j is fractured: s_j(t−1) is not an integer multiple of r_j.
+[[nodiscard]] bool is_fractured(const Instance& instance, JobId j, Res remaining);
+
+}  // namespace sharedres::core

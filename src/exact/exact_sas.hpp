@@ -1,0 +1,27 @@
+// Exact SAS solver (tiny instances): minimal sum of task completion times.
+//
+// Same branch-and-bound skeleton as exact_sos.hpp — maximal integral share
+// vectors per step, non-preemptive, memoized — but the objective accumulates
+// the step index whenever a task's last job finishes, and the pruning bound
+// combines the accrued sum with per-task completion lower bounds on the
+// remaining work. Exponential by design (SAS is strongly NP-hard; paper §2);
+// use only for micro instances to measure the Theorem-4.8 algorithm's true
+// ratio.
+#pragma once
+
+#include <optional>
+
+#include "core/types.hpp"
+#include "sas/task.hpp"
+
+namespace sharedres::exact {
+
+struct SasExactLimits {
+  std::size_t max_states = 5'000'000;
+};
+
+/// Exact minimal Σ_i f_i, or nullopt when the search exceeds its budget.
+[[nodiscard]] std::optional<core::Time> exact_sas_sum_completion(
+    const sas::SasInstance& instance, const SasExactLimits& limits = {});
+
+}  // namespace sharedres::exact

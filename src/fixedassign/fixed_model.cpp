@@ -1,0 +1,121 @@
+#include "fixedassign/fixed_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::fixedassign {
+
+void FixedInstance::validate_input() const {
+  if (capacity < 1) throw std::invalid_argument("FixedInstance: capacity < 1");
+  if (queues.empty()) throw std::invalid_argument("FixedInstance: no queues");
+  for (const auto& queue : queues) {
+    for (const Res r : queue) {
+      if (r < 1) throw std::invalid_argument("FixedInstance: requirement < 1");
+    }
+  }
+}
+
+std::size_t FixedInstance::total_jobs() const {
+  std::size_t n = 0;
+  for (const auto& queue : queues) n += queue.size();
+  return n;
+}
+
+Res FixedInstance::total_requirement() const {
+  Res sum = 0;
+  for (const auto& queue : queues) {
+    for (const Res r : queue) sum = util::add_checked(sum, r);
+  }
+  return sum;
+}
+
+FixedValidation validate(const FixedInstance& instance,
+                         const FixedSchedule& schedule) {
+  auto fail = [](const std::string& msg) { return FixedValidation{false, msg}; };
+  instance.validate_input();
+  const std::size_t m = instance.machines();
+
+  // Per-processor cursor into its queue plus progress on the current job.
+  std::vector<std::size_t> head(m, 0);
+  std::vector<Res> progress(m, 0);
+
+  for (std::size_t t = 0; t < schedule.shares.size(); ++t) {
+    const auto& step = schedule.shares[t];
+    if (step.size() != m) {
+      return fail("step " + std::to_string(t + 1) + " has wrong width");
+    }
+    Res used = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Res share = step[i];
+      if (share < 0) return fail("negative share");
+      used = util::add_checked(used, share);
+      if (share == 0) {
+        if (progress[i] > 0) {
+          std::ostringstream os;
+          os << "processor " << i << " pauses a started job at step " << t + 1;
+          return fail(os.str());
+        }
+        continue;
+      }
+      if (head[i] >= instance.queues[i].size()) {
+        std::ostringstream os;
+        os << "processor " << i << " works past its queue at step " << t + 1;
+        return fail(os.str());
+      }
+      const Res r = instance.queues[i][head[i]];
+      if (share > std::min(r, instance.capacity)) {
+        std::ostringstream os;
+        os << "processor " << i << " intake " << share << " above cap at step "
+           << t + 1;
+        return fail(os.str());
+      }
+      progress[i] += share;
+      if (progress[i] > r) {
+        std::ostringstream os;
+        os << "processor " << i << " overshoots job " << head[i];
+        return fail(os.str());
+      }
+      if (progress[i] == r) {
+        progress[i] = 0;
+        ++head[i];
+      }
+    }
+    if (used > instance.capacity) {
+      return fail("resource overused at step " + std::to_string(t + 1));
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (head[i] != instance.queues[i].size() || progress[i] != 0) {
+      std::ostringstream os;
+      os << "processor " << i << " did not finish its queue";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+Time fixed_lower_bound(const FixedInstance& instance) {
+  Time lb = util::ceil_div(instance.total_requirement(), instance.capacity);
+  for (const auto& queue : instance.queues) {
+    lb = std::max(lb, static_cast<Time>(queue.size()));
+    Res queue_total = 0;
+    for (const Res r : queue) queue_total = util::add_checked(queue_total, r);
+    lb = std::max(lb, util::ceil_div(queue_total, instance.capacity));
+  }
+  return lb;
+}
+
+core::Instance relax_to_sos(const FixedInstance& instance) {
+  std::vector<core::Job> jobs;
+  jobs.reserve(instance.total_jobs());
+  for (const auto& queue : instance.queues) {
+    for (const Res r : queue) jobs.push_back(core::Job{1, r});
+  }
+  return core::Instance(static_cast<int>(instance.machines()),
+                        instance.capacity, std::move(jobs));
+}
+
+}  // namespace sharedres::fixedassign

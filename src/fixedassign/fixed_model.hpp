@@ -1,0 +1,71 @@
+// The predecessor model of Brinkmann et al. [3] (paper §1.2): jobs are
+// already assigned to processors and ordered; only the resource assignment
+// is free.
+//
+// Each processor owns a queue of unit-size jobs with individual resource
+// requirements. In each step a processor may work on the head of its queue;
+// a job finishes once it has accumulated its requirement, with per-step
+// intake capped at min(r_j, C); processing within a queue is sequential and
+// non-preemptive. Objective: makespan. The paper's SoS model generalizes
+// this by making the assignment part of the problem — which is exactly the
+// comparison experiment this module enables (drop the assignment and run
+// the Section-3 algorithm on the same jobs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::fixedassign {
+
+using core::Res;
+using core::Time;
+
+struct FixedInstance {
+  Res capacity = 1;
+  /// queues[i] = requirements of processor i's jobs, in processing order.
+  std::vector<std::vector<Res>> queues;
+
+  void validate_input() const;
+  [[nodiscard]] std::size_t machines() const { return queues.size(); }
+  [[nodiscard]] std::size_t total_jobs() const;
+  [[nodiscard]] Res total_requirement() const;
+};
+
+/// A fixed-assignment schedule: per step, per processor, the share granted
+/// to that processor's current job. share[t][i] = units for processor i at
+/// step t+1 (0 = idle).
+struct FixedSchedule {
+  std::vector<std::vector<Res>> shares;
+
+  [[nodiscard]] Time makespan() const {
+    return static_cast<Time>(shares.size());
+  }
+};
+
+struct FixedValidation {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Check: per step Σ shares ≤ C; per processor the queue is worked head-to-
+/// tail with per-step intake ≤ min(r, C) and no gaps inside a job (a started
+/// job receives a positive share every step until it finishes); every job
+/// exactly completed.
+[[nodiscard]] FixedValidation validate(const FixedInstance& instance,
+                                       const FixedSchedule& schedule);
+
+/// Lower bounds: ⌈Σ s / C⌉ (resource), max_i |queue_i| (one job per step per
+/// processor) and max_i ⌈s(queue_i)/C⌉ (a queue's own resource demand).
+[[nodiscard]] Time fixed_lower_bound(const FixedInstance& instance);
+
+/// Forget the assignment: the same jobs as a free-assignment SoS instance
+/// on the same number of machines.
+[[nodiscard]] core::Instance relax_to_sos(const FixedInstance& instance);
+
+}  // namespace sharedres::fixedassign

@@ -1,0 +1,109 @@
+#include "hardness/three_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exact/exact_sos.hpp"
+#include "util/checked.hpp"
+
+namespace sharedres::hardness {
+
+void ThreePartition::validate_input() const {
+  if (numbers.empty() || numbers.size() % 3 != 0) {
+    throw std::invalid_argument("ThreePartition: |numbers| must be 3q > 0");
+  }
+  const auto q = static_cast<core::Res>(triples());
+  core::Res sum = 0;
+  for (const core::Res a : numbers) {
+    sum = util::add_checked(sum, a);
+    // Strict bounds B/4 < a < B/2 (exact rational comparison).
+    if (!(4 * a > target && 2 * a < target)) {
+      throw std::invalid_argument(
+          "ThreePartition: number outside (B/4, B/2)");
+    }
+  }
+  if (sum != util::mul_checked(q, target)) {
+    throw std::invalid_argument("ThreePartition: numbers do not sum to q*B");
+  }
+}
+
+core::Instance to_sos_instance(const ThreePartition& input) {
+  input.validate_input();
+  std::vector<core::Job> jobs;
+  jobs.reserve(input.numbers.size());
+  for (const core::Res a : input.numbers) jobs.push_back(core::Job{1, a});
+  return core::Instance(3, input.target, std::move(jobs));
+}
+
+ThreePartition planted_yes_instance(std::size_t q, core::Res B,
+                                    std::uint64_t seed) {
+  if (q == 0 || B < 8 || B % 4 != 0) {
+    throw std::invalid_argument(
+        "planted_yes_instance: need q >= 1 and B >= 8 divisible by 4");
+  }
+  util::Rng rng(seed);
+  ThreePartition out;
+  out.target = B;
+  out.numbers.reserve(3 * q);
+  // Each triple: a1, a2 ∈ (B/4, B/2), a3 = B − a1 − a2 forced into the same
+  // open interval by sampling a1 + a2 ∈ (B/2, 3B/4).
+  for (std::size_t t = 0; t < q; ++t) {
+    for (;;) {
+      const core::Res a1 = rng.uniform_int(B / 4 + 1, B / 2 - 1);
+      const core::Res a2 = rng.uniform_int(B / 4 + 1, B / 2 - 1);
+      const core::Res a3 = B - a1 - a2;
+      if (4 * a3 > B && 2 * a3 < B) {
+        out.numbers.push_back(a1);
+        out.numbers.push_back(a2);
+        out.numbers.push_back(a3);
+        break;
+      }
+    }
+  }
+  rng.shuffle(out.numbers);
+  out.validate_input();
+  return out;
+}
+
+ThreePartition perturb(const ThreePartition& input, std::uint64_t seed) {
+  input.validate_input();
+  util::Rng rng(seed);
+  ThreePartition out = input;
+  // Move one unit from a number with slack above B/4 to one with slack
+  // below B/2; total and bounds stay valid.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto n = static_cast<std::int64_t>(out.numbers.size());
+    const auto from = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto to = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    if (from == to) continue;
+    const core::Res a = out.numbers[from] - 1;
+    const core::Res b = out.numbers[to] + 1;
+    if (4 * a > out.target && 2 * b < out.target) {
+      out.numbers[from] = a;
+      out.numbers[to] = b;
+      out.validate_input();
+      return out;
+    }
+  }
+  throw std::runtime_error("perturb: no feasible unit move found");
+}
+
+ThreePartition certified_no_instance() {
+  ThreePartition out;
+  out.target = 32;
+  out.numbers = {10, 10, 10, 10, 10, 10, 10, 13, 13};
+  out.validate_input();
+  return out;
+}
+
+std::optional<bool> decide_via_sos(const ThreePartition& input,
+                                   std::size_t max_states) {
+  const core::Instance inst = to_sos_instance(input);
+  exact::ExactLimits limits;
+  limits.max_states = max_states;
+  const auto opt = exact::exact_makespan(inst, limits);
+  if (!opt) return std::nullopt;
+  return *opt == static_cast<core::Time>(input.triples());
+}
+
+}  // namespace sharedres::hardness

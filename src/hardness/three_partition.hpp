@@ -1,0 +1,75 @@
+// Strong NP-hardness witnesses (paper Theorem 2.1).
+//
+// SoS is strongly NP-hard even for unit-size jobs. The full version of the
+// paper adapts the reduction of Chung et al. [4]; this module implements a
+// self-contained reduction from 3-PARTITION with the following (rigorous)
+// slot-counting argument for m = 3:
+//
+//   Given numbers a_1..a_{3q} with Σ a_i = q·B, build the unit-size SoS
+//   instance with m = 3 processors, capacity B and jobs r_i = a_i. Then the
+//   optimal makespan is q iff the numbers split into q triples each summing
+//   to exactly B:
+//     (⇐) schedule each triple in its own step — it fills the resource and
+//         the three processors exactly.
+//     (⇒) a schedule of length q has at most 3q (machine, step) slots and
+//         every job needs at least one slot, so every job occupies exactly
+//         one slot — no job is split across steps, i.e. each job receives
+//         its full a_i within a single step. The per-step loads then sum to
+//         Σ a_i = q·B over q steps with each step ≤ B, so every step is
+//         exactly B: the steps are the triples... (each step holds at most
+//         3 jobs because m = 3, and exactly 3 on average, hence exactly 3
+//         per step once B/4 < a_i < B/2 forbids 2- and 4-job steps).
+//
+// Since 3-PARTITION is strongly NP-hard and the reduction keeps all numbers
+// polynomially bounded, SoS with unit sizes is strongly NP-hard. The module
+// generates YES instances (planted partitions) and perturbed NO instances,
+// plus the exact-solver-based decision procedure used in the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::hardness {
+
+struct ThreePartition {
+  core::Res target = 0;               ///< B
+  std::vector<core::Res> numbers;     ///< 3q values with Σ = q·B
+
+  [[nodiscard]] std::size_t triples() const { return numbers.size() / 3; }
+  /// Throws std::invalid_argument unless |numbers| = 3q, Σ = q·B and every
+  /// value lies strictly between B/4 and B/2.
+  void validate_input() const;
+};
+
+/// The reduction described above: m = 3, capacity B, unit jobs r_i = a_i.
+[[nodiscard]] core::Instance to_sos_instance(const ThreePartition& input);
+
+/// Planted YES instance: q random triples summing exactly to B with
+/// B/4 < a_i < B/2, shuffled. B must be ≥ 8 so the open interval is wide
+/// enough; use multiples of 4 for a comfortable margin.
+[[nodiscard]] ThreePartition planted_yes_instance(std::size_t q, core::Res B,
+                                                  std::uint64_t seed);
+
+/// Perturb a YES instance by moving one unit between two numbers of
+/// different triples — with high probability no exact partition remains
+/// (the instance stays format-valid: sums and bounds are preserved).
+[[nodiscard]] ThreePartition perturb(const ThreePartition& input,
+                                     std::uint64_t seed);
+
+/// A certified NO instance: q = 3, B = 32, numbers = {10×7, 13×2}. Every
+/// number is ≡ 1 (mod 3), so any triple sums to ≡ 0 (mod 3), but
+/// B = 32 ≡ 2 (mod 3) — no triple can hit B, hence no partition exists
+/// (while the totals still match: 7·10 + 2·13 = 96 = 3·32).
+[[nodiscard]] ThreePartition certified_no_instance();
+
+/// Decide 3-PARTITION through the reduction: OPT(makespan) == q? Returns
+/// nullopt if the exact search exceeds its budget (large q).
+[[nodiscard]] std::optional<bool> decide_via_sos(const ThreePartition& input,
+                                                 std::size_t max_states =
+                                                     5'000'000);
+
+}  // namespace sharedres::hardness

@@ -1,0 +1,313 @@
+#include "io/text_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sharedres::io {
+
+namespace {
+
+/// Line-oriented tokenizer with position-aware errors.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  /// Next non-blank, non-comment line split into tokens; empty at EOF.
+  std::vector<std::string> next_line() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      std::istringstream ls(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+      if (tokens.empty() || tokens[0][0] == '#') continue;
+      return tokens;
+    }
+    return {};
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("parse error at line " + std::to_string(line_no_) +
+                             ": " + msg);
+  }
+
+  util::i64 to_int(const std::string& tok) const {
+    try {
+      std::size_t pos = 0;
+      const util::i64 value = std::stoll(tok, &pos);
+      if (pos != tok.size()) fail("trailing characters in number '" + tok + "'");
+      return value;
+    } catch (const std::logic_error&) {
+      fail("expected a number, got '" + tok + "'");
+    }
+  }
+
+  /// Expect `key <value>` and return the value.
+  util::i64 expect_kv(const std::string& key) {
+    const auto tokens = next_line();
+    if (tokens.size() != 2 || tokens[0] != key) {
+      fail("expected '" + key + " <value>'");
+    }
+    return to_int(tokens[1]);
+  }
+
+  void expect_header(const std::string& kind) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      if (line.empty()) continue;
+      const std::string want = "# sharedres " + kind + " v1";
+      if (line != want) fail("expected header '" + want + "'");
+      return;
+    }
+    fail("missing header");
+  }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+void write_instance(std::ostream& os, const core::Instance& instance) {
+  os << "# sharedres instance v1\n";
+  os << "machines " << instance.machines() << "\n";
+  os << "capacity " << instance.capacity() << "\n";
+  os << "jobs " << instance.size() << "\n";
+  for (const core::Job& job : instance.jobs()) {
+    os << "job " << job.size << " " << job.requirement << "\n";
+  }
+}
+
+core::Instance read_instance(std::istream& is) {
+  Reader r(is);
+  r.expect_header("instance");
+  const auto machines = static_cast<int>(r.expect_kv("machines"));
+  const core::Res capacity = r.expect_kv("capacity");
+  const util::i64 n = r.expect_kv("jobs");
+  std::vector<core::Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (util::i64 i = 0; i < n; ++i) {
+    const auto tokens = r.next_line();
+    if (tokens.size() != 3 || tokens[0] != "job") {
+      r.fail("expected 'job <size> <requirement>'");
+    }
+    jobs.push_back(core::Job{r.to_int(tokens[1]), r.to_int(tokens[2])});
+  }
+  return core::Instance(machines, capacity, std::move(jobs));
+}
+
+void write_schedule(std::ostream& os, const core::Schedule& schedule) {
+  os << "# sharedres schedule v1\n";
+  os << "blocks " << schedule.blocks().size() << "\n";
+  for (const core::Block& block : schedule.blocks()) {
+    os << "block " << block.length << " " << block.assignments.size();
+    for (const core::Assignment& a : block.assignments) {
+      os << " " << a.job << ":" << a.share;
+    }
+    os << "\n";
+  }
+}
+
+core::Schedule read_schedule(std::istream& is) {
+  Reader r(is);
+  r.expect_header("schedule");
+  const util::i64 blocks = r.expect_kv("blocks");
+  core::Schedule schedule;
+  for (util::i64 b = 0; b < blocks; ++b) {
+    const auto tokens = r.next_line();
+    if (tokens.size() < 3 || tokens[0] != "block") {
+      r.fail("expected 'block <len> <k> job:share ...'");
+    }
+    const core::Time len = r.to_int(tokens[1]);
+    const util::i64 k = r.to_int(tokens[2]);
+    if (static_cast<util::i64>(tokens.size()) != 3 + k) {
+      r.fail("block advertises " + std::to_string(k) + " assignments, has " +
+             std::to_string(tokens.size() - 3));
+    }
+    std::vector<core::Assignment> assignments;
+    assignments.reserve(static_cast<std::size_t>(k));
+    for (std::size_t t = 3; t < tokens.size(); ++t) {
+      const auto colon = tokens[t].find(':');
+      if (colon == std::string::npos) r.fail("expected 'job:share'");
+      assignments.push_back(core::Assignment{
+          static_cast<core::JobId>(r.to_int(tokens[t].substr(0, colon))),
+          r.to_int(tokens[t].substr(colon + 1))});
+    }
+    schedule.append(len, std::move(assignments));
+  }
+  return schedule;
+}
+
+void write_sas(std::ostream& os, const sas::SasInstance& instance) {
+  os << "# sharedres sas v1\n";
+  os << "machines " << instance.machines << "\n";
+  os << "capacity " << instance.capacity << "\n";
+  os << "tasks " << instance.tasks.size() << "\n";
+  for (const sas::Task& task : instance.tasks) {
+    os << "task";
+    for (const core::Res req : task.requirements) os << " " << req;
+    os << "\n";
+  }
+}
+
+sas::SasInstance read_sas(std::istream& is) {
+  Reader r(is);
+  r.expect_header("sas");
+  sas::SasInstance instance;
+  instance.machines = static_cast<int>(r.expect_kv("machines"));
+  instance.capacity = r.expect_kv("capacity");
+  const util::i64 k = r.expect_kv("tasks");
+  for (util::i64 i = 0; i < k; ++i) {
+    const auto tokens = r.next_line();
+    if (tokens.size() < 2 || tokens[0] != "task") {
+      r.fail("expected 'task <r1> <r2> ...'");
+    }
+    sas::Task task;
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      task.requirements.push_back(r.to_int(tokens[t]));
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.validate_input();
+  return instance;
+}
+
+void write_packing_instance(std::ostream& os,
+                            const binpack::PackingInstance& instance) {
+  os << "# sharedres packing v1\n";
+  os << "capacity " << instance.capacity << "\n";
+  os << "cardinality " << instance.cardinality << "\n";
+  os << "items " << instance.items.size() << "\n";
+  for (const core::Res item : instance.items) os << "item " << item << "\n";
+}
+
+binpack::PackingInstance read_packing_instance(std::istream& is) {
+  Reader r(is);
+  r.expect_header("packing");
+  binpack::PackingInstance instance;
+  instance.capacity = r.expect_kv("capacity");
+  instance.cardinality = static_cast<int>(r.expect_kv("cardinality"));
+  const util::i64 n = r.expect_kv("items");
+  for (util::i64 i = 0; i < n; ++i) {
+    const auto tokens = r.next_line();
+    if (tokens.size() != 2 || tokens[0] != "item") r.fail("expected 'item <w>'");
+    instance.items.push_back(r.to_int(tokens[1]));
+  }
+  instance.validate_input();
+  return instance;
+}
+
+void write_packing(std::ostream& os, const binpack::Packing& packing) {
+  os << "# sharedres packs v1\n";
+  os << "bins " << packing.bins.size() << "\n";
+  for (const auto& bin : packing.bins) {
+    os << "bin " << bin.size();
+    for (const binpack::ItemPart& part : bin) {
+      os << " " << part.item << ":" << part.amount;
+    }
+    os << "\n";
+  }
+}
+
+binpack::Packing read_packing(std::istream& is) {
+  Reader r(is);
+  r.expect_header("packs");
+  const util::i64 bins = r.expect_kv("bins");
+  binpack::Packing packing;
+  packing.bins.reserve(static_cast<std::size_t>(bins));
+  for (util::i64 b = 0; b < bins; ++b) {
+    const auto tokens = r.next_line();
+    if (tokens.size() < 2 || tokens[0] != "bin") {
+      r.fail("expected 'bin <k> item:amount ...'");
+    }
+    const util::i64 k = r.to_int(tokens[1]);
+    if (static_cast<util::i64>(tokens.size()) != 2 + k) {
+      r.fail("bin advertises " + std::to_string(k) + " parts");
+    }
+    std::vector<binpack::ItemPart> bin;
+    bin.reserve(static_cast<std::size_t>(k));
+    for (std::size_t t = 2; t < tokens.size(); ++t) {
+      const auto colon = tokens[t].find(':');
+      if (colon == std::string::npos) r.fail("expected 'item:amount'");
+      bin.push_back(binpack::ItemPart{
+          static_cast<std::size_t>(r.to_int(tokens[t].substr(0, colon))),
+          r.to_int(tokens[t].substr(colon + 1))});
+    }
+    packing.bins.push_back(std::move(bin));
+  }
+  return packing;
+}
+
+void write_online(std::ostream& os, const online::OnlineInstance& instance) {
+  os << "# sharedres online v1\n";
+  os << "machines " << instance.machines << "\n";
+  os << "capacity " << instance.capacity << "\n";
+  os << "jobs " << instance.jobs.size() << "\n";
+  for (const online::OnlineJob& oj : instance.jobs) {
+    os << "job " << oj.release << " " << oj.job.size << " "
+       << oj.job.requirement << "\n";
+  }
+}
+
+online::OnlineInstance read_online(std::istream& is) {
+  Reader r(is);
+  r.expect_header("online");
+  online::OnlineInstance instance;
+  instance.machines = static_cast<int>(r.expect_kv("machines"));
+  instance.capacity = r.expect_kv("capacity");
+  const util::i64 n = r.expect_kv("jobs");
+  for (util::i64 i = 0; i < n; ++i) {
+    const auto tokens = r.next_line();
+    if (tokens.size() != 4 || tokens[0] != "job") {
+      r.fail("expected 'job <release> <size> <requirement>'");
+    }
+    instance.jobs.push_back(online::OnlineJob{
+        r.to_int(tokens[1]),
+        core::Job{r.to_int(tokens[2]), r.to_int(tokens[3])}});
+  }
+  instance.validate_input();
+  return instance;
+}
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void save_instance(const std::string& path, const core::Instance& instance) {
+  auto os = open_out(path);
+  write_instance(os, instance);
+}
+
+core::Instance load_instance(const std::string& path) {
+  auto is = open_in(path);
+  return read_instance(is);
+}
+
+void save_schedule(const std::string& path, const core::Schedule& schedule) {
+  auto os = open_out(path);
+  write_schedule(os, schedule);
+}
+
+core::Schedule load_schedule(const std::string& path) {
+  auto is = open_in(path);
+  return read_schedule(is);
+}
+
+}  // namespace sharedres::io

@@ -1,0 +1,58 @@
+// Online arrivals — an extension beyond the paper.
+//
+// The paper's motivation (big-data jobs competing for bandwidth) is
+// naturally online: jobs arrive over time and the scheduler cannot see the
+// future. This module adds release times to the SoS model and an online
+// scheduler that shares the resource greedily among released jobs,
+// non-preemptively. The offline sliding window run on the release-free
+// instance serves as the clairvoyant yardstick, and release-aware lower
+// bounds make the measured "competitive" ratios sound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::online {
+
+struct OnlineJob {
+  core::Time release = 1;  ///< first step the job may run (1-based)
+  core::Job job;
+};
+
+struct OnlineInstance {
+  int machines = 2;
+  core::Res capacity = 1;
+  std::vector<OnlineJob> jobs;
+
+  void validate_input() const;
+  [[nodiscard]] std::size_t size() const { return jobs.size(); }
+
+  /// Forget the release times (the clairvoyant relaxation; its optimum
+  /// lower-bounds nothing online, but the offline window schedule on it is
+  /// the natural best-knowledge comparison point).
+  [[nodiscard]] core::Instance clairvoyant() const;
+};
+
+struct OnlineValidation {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Feasibility with releases: everything core::validate checks, plus no job
+/// runs before its release step. `schedule` uses the instance's job order.
+[[nodiscard]] OnlineValidation validate(const OnlineInstance& instance,
+                                        const core::Schedule& schedule);
+
+/// Release-aware makespan lower bound:
+///   max{ ⌈Σ s_j / C⌉, ⌈Σ p_j / m⌉,
+///        max_j (release_j − 1 + ⌈s_j / min(r_j, C)⌉) }.
+[[nodiscard]] core::Time online_lower_bound(const OnlineInstance& instance);
+
+}  // namespace sharedres::online

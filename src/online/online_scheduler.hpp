@@ -1,0 +1,23 @@
+// Online schedulers (extension; see online_model.hpp).
+#pragma once
+
+#include "core/schedule.hpp"
+#include "online/online_model.hpp"
+
+namespace sharedres::online {
+
+/// Greedy resource sharing over released jobs: every step, started jobs are
+/// sustained first (non-preemption), then the free resource goes to the
+/// released jobs with the smallest remaining requirement — the online
+/// analogue of the window's "finish many small jobs per step" principle.
+/// At most m jobs run per step; a job is only started if it can either
+/// finish this step or be sustained later (one unit per open job).
+[[nodiscard]] core::Schedule schedule_online_greedy(
+    const OnlineInstance& instance);
+
+/// Full-reservation online baseline: a released job runs only when its
+/// whole min(r_j, C) fits — Garey–Graham admission with arrivals.
+[[nodiscard]] core::Schedule schedule_online_reservation(
+    const OnlineInstance& instance);
+
+}  // namespace sharedres::online

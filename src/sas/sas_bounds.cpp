@@ -1,0 +1,86 @@
+#include "sas/sas_bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::sas {
+
+namespace {
+
+std::vector<Res> sorted_totals(const std::vector<Task>& tasks) {
+  std::vector<Res> totals;
+  totals.reserve(tasks.size());
+  for (const Task& t : tasks) totals.push_back(t.total_requirement());
+  std::sort(totals.begin(), totals.end());
+  return totals;
+}
+
+std::vector<Res> sorted_sizes(const std::vector<Task>& tasks) {
+  std::vector<Res> sizes;
+  sizes.reserve(tasks.size());
+  for (const Task& t : tasks) sizes.push_back(static_cast<Res>(t.size()));
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+Time prefix_ceil_sum(const std::vector<Res>& values, Res divisor) {
+  Time sum = 0;
+  Res prefix = 0;
+  for (const Res v : values) {
+    prefix = util::add_checked(prefix, v);
+    sum = util::add_checked(sum, util::ceil_div(prefix, divisor));
+  }
+  return sum;
+}
+
+}  // namespace
+
+Time lemma43a_bound(const std::vector<Task>& tasks, Res capacity) {
+  if (capacity < 1) throw std::invalid_argument("lemma43a_bound: capacity < 1");
+  return prefix_ceil_sum(sorted_totals(tasks), capacity);
+}
+
+Time lemma43b_bound(const std::vector<Task>& tasks, int machines) {
+  if (machines < 1) throw std::invalid_argument("lemma43b_bound: machines < 1");
+  return prefix_ceil_sum(sorted_sizes(tasks), static_cast<Res>(machines));
+}
+
+Time sas_lower_bound(const SasInstance& instance) {
+  instance.validate_input();
+  return std::max(lemma43a_bound(instance.tasks, instance.capacity),
+                  lemma43b_bound(instance.tasks, instance.machines));
+}
+
+std::vector<Time> lemma41_completion_bounds(
+    const std::vector<Task>& tasks_sorted_by_requirement, Res budget) {
+  if (budget < 1) {
+    throw std::invalid_argument("lemma41_completion_bounds: budget < 1");
+  }
+  std::vector<Time> bounds;
+  bounds.reserve(tasks_sorted_by_requirement.size());
+  Res prefix = 0;
+  for (const Task& task : tasks_sorted_by_requirement) {
+    prefix = util::add_checked(prefix, task.total_requirement());
+    bounds.push_back(util::ceil_div(prefix, budget));
+  }
+  return bounds;
+}
+
+std::vector<Time> lemma42_completion_bounds(
+    const std::vector<Task>& tasks_sorted_by_size, std::size_t procs) {
+  if (procs < 2) {
+    throw std::invalid_argument("lemma42_completion_bounds: procs < 2");
+  }
+  std::vector<Time> bounds;
+  bounds.reserve(tasks_sorted_by_size.size());
+  Res prefix = 0;
+  for (const Task& task : tasks_sorted_by_size) {
+    prefix = util::add_checked(prefix, static_cast<Res>(task.size()));
+    bounds.push_back(util::ceil_div(prefix, static_cast<Res>(procs) - 1));
+  }
+  return bounds;
+}
+
+}  // namespace sharedres::sas

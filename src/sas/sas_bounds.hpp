@@ -1,0 +1,33 @@
+// Lower bounds on the optimal sum of task completion times (paper Lemma 4.3)
+// and the per-lemma completion-time bounds used by the analysis.
+#pragma once
+
+#include <vector>
+
+#include "sas/task.hpp"
+
+namespace sharedres::sas {
+
+/// Lemma 4.3(a): with tasks ordered by non-decreasing total requirement,
+/// OPT ≥ Σ_i ⌈Σ_{l ≤ i} r(T_l) / C⌉ — the resource delivers ≤ C per step.
+[[nodiscard]] Time lemma43a_bound(const std::vector<Task>& tasks, Res capacity);
+
+/// Lemma 4.3(b): with tasks ordered by non-decreasing job count,
+/// OPT ≥ Σ_i ⌈Σ_{l ≤ i} |T_l| / m⌉ — at most m jobs finish per step.
+[[nodiscard]] Time lemma43b_bound(const std::vector<Task>& tasks, int machines);
+
+/// max of both Lemma-4.3 bounds for a whole instance.
+[[nodiscard]] Time sas_lower_bound(const SasInstance& instance);
+
+/// Lemma 4.1's guarantee: f_i ≤ ⌈Σ_{l ≤ i} r(T_l) / R⌉ with tasks ordered by
+/// non-decreasing r(T) and per-step budget R (both in the same units).
+/// Returns the bound for every prefix i.
+[[nodiscard]] std::vector<Time> lemma41_completion_bounds(
+    const std::vector<Task>& tasks_sorted_by_requirement, Res budget);
+
+/// Lemma 4.2's guarantee: f_i ≤ ⌈Σ_{l ≤ i} |T_l| / (m−1)⌉ with tasks ordered
+/// by non-decreasing job count on m processors.
+[[nodiscard]] std::vector<Time> lemma42_completion_bounds(
+    const std::vector<Task>& tasks_sorted_by_size, std::size_t procs);
+
+}  // namespace sharedres::sas

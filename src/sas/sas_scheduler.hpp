@@ -1,0 +1,68 @@
+// The Theorem-4.8 SAS approximation: split tasks by average resource
+// requirement, schedule the halves side by side.
+//
+//   T1 = { T : |T| / r(T) < m−1 }   (high requirement)  → Listing 3 on
+//        ⌊m/2⌋ processors with budget R = (⌊m/2⌋−1)/(m−1) of the resource;
+//   T2 = the rest (low requirement) → Listing 4 on ⌈m/2⌉ processors with
+//        budget R = 1/2.
+//
+// Internally every requirement is rescaled by 2·(m−1) so both budgets are
+// integral resource units; the reported schedule lives on the rescaled grid
+// (SasResult::scale). Sum of completion times is within
+// (2 + 4/(m−3) + o(1)) · OPT (Theorem 4.8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "sas/task.hpp"
+#include "util/rational.hpp"
+
+namespace sharedres::sas {
+
+struct SasResult {
+  std::vector<Time> completion;   ///< per task, in the instance's task order
+  Time sum_completion = 0;        ///< Σ_i f_i — the SAS objective
+  core::Schedule schedule;        ///< merged schedule over flat job ids
+  Res scale = 1;                  ///< rescaling applied to all requirements
+  std::vector<int> task_class;    ///< 1 or 2 per task (the T1/T2 split)
+};
+
+/// Run the Theorem-4.8 algorithm. Requires m ≥ 4 (the split needs at least
+/// two processors per half); throws std::invalid_argument otherwise.
+[[nodiscard]] SasResult schedule_sas(const SasInstance& instance);
+
+/// The T1/T2 membership test of Section 4.2: class 1 iff |T| / r(T) < m−1.
+[[nodiscard]] int sas_task_class(const Task& task, int machines, Res capacity);
+
+/// Generalized entry point used by the weighted extension: override the
+/// processing order inside either class. Orders are permutations of the
+/// positions within that class's subset (tasks filtered in instance order);
+/// nullptr keeps the paper's sort.
+[[nodiscard]] SasResult schedule_sas_ordered(
+    const SasInstance& instance, const std::vector<std::size_t>* order_high,
+    const std::vector<std::size_t>* order_low);
+
+/// Flatten a SAS instance into a core::Instance of unit-size jobs on the
+/// rescaled grid (job order: task by task). Used for validation.
+[[nodiscard]] core::Instance flatten(const SasInstance& instance, Res scale);
+
+struct SasValidation {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Full check of a SasResult: the merged schedule is feasible for the
+/// flattened instance (resource, machines, non-preemption, completion), and
+/// the reported completion times match the schedule.
+[[nodiscard]] SasValidation validate(const SasInstance& instance,
+                                     const SasResult& result);
+
+/// Theorem 4.8's leading ratio 2 + 4/(m−3) as an exact rational (m ≥ 4).
+[[nodiscard]] util::Rational sas_ratio_bound(int machines);
+
+}  // namespace sharedres::sas

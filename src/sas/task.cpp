@@ -1,0 +1,34 @@
+#include "sas/task.hpp"
+
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::sas {
+
+Res Task::total_requirement() const {
+  Res sum = 0;
+  for (const Res r : requirements) sum = util::add_checked(sum, r);
+  return sum;
+}
+
+void SasInstance::validate_input() const {
+  if (machines < 1) throw std::invalid_argument("SasInstance: machines < 1");
+  if (capacity < 1) throw std::invalid_argument("SasInstance: capacity < 1");
+  for (const Task& task : tasks) {
+    if (task.requirements.empty()) {
+      throw std::invalid_argument("SasInstance: empty task");
+    }
+    for (const Res r : task.requirements) {
+      if (r < 1) throw std::invalid_argument("SasInstance: requirement < 1");
+    }
+  }
+}
+
+std::size_t SasInstance::total_jobs() const {
+  std::size_t n = 0;
+  for (const Task& task : tasks) n += task.size();
+  return n;
+}
+
+}  // namespace sharedres::sas

@@ -1,0 +1,39 @@
+// Tasks of the Shared Resource Task-Scheduling problem (paper Section 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sharedres::sas {
+
+using core::Res;
+using core::Time;
+
+/// A task: a set of unit-size jobs, each with its own resource requirement
+/// (units of the owning instance's capacity). The task completes when its
+/// last job completes.
+struct Task {
+  std::vector<Res> requirements;
+
+  [[nodiscard]] std::size_t size() const { return requirements.size(); }
+  /// r(T) = Σ_{j ∈ T} r_j (checked).
+  [[nodiscard]] Res total_requirement() const;
+};
+
+/// A SAS instance: m processors, shared resource of `capacity` units, tasks.
+/// Objective: minimize Σ_i f_i (equivalently the average task completion
+/// time), where f_i is the step in which task i's last job finishes.
+struct SasInstance {
+  int machines = 4;
+  Res capacity = 1;
+  std::vector<Task> tasks;
+
+  /// Throws std::invalid_argument on malformed data (empty tasks, r < 1, ...).
+  void validate_input() const;
+
+  [[nodiscard]] std::size_t total_jobs() const;
+};
+
+}  // namespace sharedres::sas

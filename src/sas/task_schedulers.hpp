@@ -1,0 +1,52 @@
+// The two task-set schedulers of Section 4.
+//
+//  * schedule_tasks_high — Listing 3 (reconstructed from Lemma 4.1's proof;
+//    the listing body is corrupted in the available paper text, see
+//    DESIGN.md §4): tasks sorted by non-decreasing total requirement r(T) run
+//    one at a time through per-task sliding windows; when a task finishes
+//    mid-step the next task starts immediately on the leftover processors
+//    and budget. For task sets with r(T)/|T| > R/(m−1) this uses the full
+//    budget R every step except the last, giving
+//    f_i ≤ ⌈Σ_{l ≤ i} r(T_l) / R⌉ (Lemma 4.1).
+//
+//  * schedule_tasks_low — Listing 4: tasks sorted by non-decreasing job
+//    count; each step first absorbs whole tasks (every job at its full
+//    remaining requirement), then serves the boundary task through a window
+//    capped at m' = ⌊(R − used)·(m−1)/R⌋ + 1 jobs. For task sets with
+//    r(T)/|T| ≤ R/(m−1) this finishes m−1 jobs per step, giving
+//    f_i ≤ ⌈Σ_{l ≤ i} |T_l| / (m−1)⌉ (Lemma 4.2).
+//
+// Both run on `procs` processors with a per-step budget of `budget` resource
+// units and emit schedules over flat job ids (offset[task] + local index).
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sas/task.hpp"
+
+namespace sharedres::sas {
+
+struct TaskScheduleResult {
+  core::Schedule schedule;           ///< over flat job ids
+  std::vector<Time> completion;      ///< per input task index
+  std::vector<std::size_t> order;    ///< task indices in processing order
+  std::vector<std::size_t> offset;   ///< flat-id offset per input task
+
+  [[nodiscard]] Time sum_completion() const;
+};
+
+/// Listing 3. Requires procs ≥ 2 and budget ≥ 1. `order` overrides the
+/// default non-decreasing-r(T) processing order (used by the weighted
+/// extension); it must be a permutation of the task indices.
+[[nodiscard]] TaskScheduleResult schedule_tasks_high(
+    const std::vector<Task>& tasks, std::size_t procs, Res budget,
+    const std::vector<std::size_t>* order = nullptr);
+
+/// Listing 4. Requires procs ≥ 2 and budget ≥ 1. `order` overrides the
+/// default non-decreasing-|T| processing order.
+[[nodiscard]] TaskScheduleResult schedule_tasks_low(
+    const std::vector<Task>& tasks, std::size_t procs, Res budget,
+    const std::vector<std::size_t>* order = nullptr);
+
+}  // namespace sharedres::sas

@@ -1,0 +1,151 @@
+#include "sas/unit_task_state.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::sas {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+void ensure(bool cond, const char* msg) {
+  if (!cond) {
+    throw std::logic_error(std::string("UnitTaskState invariant: ") + msg);
+  }
+}
+
+}  // namespace
+
+UnitTaskState::UnitTaskState(const std::vector<core::Res>& requirements)
+    : rem_(requirements), iota_(kNone) {
+  const std::size_t n = rem_.size();
+  ensure(n > 0, "empty task");
+  for (const core::Res r : rem_) {
+    ensure(r >= 1, "requirement < 1");
+    remaining_total_ = util::add_checked(remaining_total_, r);
+  }
+  remaining_jobs_ = n;
+
+  // Link the jobs in sorted-by-requirement order (stable for determinism).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rem_[a] < rem_[b];
+  });
+  head_ = n;
+  tail_ = n + 1;
+  next_.resize(n + 2);
+  prev_.resize(n + 2);
+  std::size_t last = head_;
+  for (const std::size_t j : order) {
+    next_[last] = j;
+    prev_[j] = last;
+    last = j;
+  }
+  next_[last] = tail_;
+  prev_[tail_] = last;
+  next_[tail_] = tail_;
+  prev_[head_] = head_;
+}
+
+void UnitTaskState::unlink(std::size_t j) {
+  next_[prev_[j]] = next_[j];
+  prev_[next_[j]] = prev_[j];
+}
+
+void UnitTaskState::reposition_started(std::size_t j) {
+  std::size_t p = prev_[j];
+  if (p == head_ || key(p) <= key(j)) return;
+  unlink(j);
+  while (p != head_ && key(p) > key(j)) p = prev_[p];
+  const std::size_t q = next_[p];
+  next_[p] = j;
+  prev_[j] = p;
+  next_[j] = q;
+  prev_[q] = j;
+}
+
+UnitTaskState::Round UnitTaskState::serve(std::size_t procs,
+                                          core::Res budget) {
+  ensure(!done(), "serve on a finished task");
+  ensure(procs >= 1 && budget >= 1, "serve needs procs >= 1 and budget >= 1");
+
+  // Build the window (GrowWindowLeft / GrowWindowRight / MoveWindowRight on
+  // this task's virtual order).
+  std::size_t wl = (iota_ != kNone) ? iota_ : next_[head_];
+  std::size_t wr = wl;
+  std::size_t wsize = 1;
+  core::Res wkey = key(wl);
+
+  while (wsize < procs && prev_[wl] != head_ && wkey < budget) {
+    wl = prev_[wl];
+    ++wsize;
+    wkey = util::add_checked(wkey, key(wl));
+  }
+  while (wkey < budget && next_[wr] != tail_ && wsize < procs) {
+    wr = next_[wr];
+    ++wsize;
+    wkey = util::add_checked(wkey, key(wr));
+  }
+  while (wkey < budget && next_[wr] != tail_ && wl != iota_) {
+    wkey -= key(wl);
+    wl = next_[wl];
+    wr = next_[wr];
+    wkey = util::add_checked(wkey, key(wr));
+  }
+
+  const core::Res others = wkey - key(wr);
+  ensure(others < budget, "window Property (b) violated");
+  const core::Res max_share = std::min(budget - others, key(wr));
+  ensure(max_share > 0, "zero share for the rightmost window job");
+
+  Round round;
+  round.shares.reserve(wsize);
+  std::size_t j = wl;
+  while (true) {
+    const std::size_t nxt = next_[j];
+    const bool is_max = (j == wr);
+    const core::Res share = is_max ? max_share : key(j);
+    round.shares.emplace_back(j, share);
+    round.used = util::add_checked(round.used, share);
+    rem_[j] -= share;
+    remaining_total_ -= share;
+    if (rem_[j] == 0) {
+      unlink(j);
+      --remaining_jobs_;
+      if (j == iota_) iota_ = kNone;
+    } else {
+      ensure(is_max, "non-rightmost window job failed to finish");
+      iota_ = j;
+      reposition_started(j);
+    }
+    if (is_max) break;
+    j = nxt;
+  }
+  return round;
+}
+
+UnitTaskState::Round UnitTaskState::serve_all() {
+  ensure(!done(), "serve_all on a finished task");
+  Round round;
+  round.shares.reserve(remaining_jobs_);
+  for (std::size_t j = next_[head_]; j != tail_;) {
+    const std::size_t nxt = next_[j];
+    round.shares.emplace_back(j, rem_[j]);
+    round.used = util::add_checked(round.used, rem_[j]);
+    remaining_total_ -= rem_[j];
+    rem_[j] = 0;
+    unlink(j);
+    --remaining_jobs_;
+    j = nxt;
+  }
+  iota_ = kNone;
+  ensure(remaining_total_ == 0 && remaining_jobs_ == 0, "serve_all leftover");
+  return round;
+}
+
+}  // namespace sharedres::sas

@@ -1,0 +1,64 @@
+// Per-task sliding-window service (shared by the Listing-3 and Listing-4
+// schedulers).
+//
+// A task is a set of unit-size jobs; the Section-4 algorithms apply the
+// Listing-2 window procedures *to the current task only*, with per-call
+// processor and budget limits (the leftovers of the current time step).
+// This class keeps one task's unfinished jobs in virtual order (started job
+// repositioned by remaining requirement, as in core::UnitEngine) and serves
+// one window per call.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace sharedres::sas {
+
+class UnitTaskState {
+ public:
+  explicit UnitTaskState(const std::vector<core::Res>& requirements);
+
+  [[nodiscard]] bool done() const { return remaining_jobs_ == 0; }
+  [[nodiscard]] std::size_t remaining_jobs() const { return remaining_jobs_; }
+  /// Σ of current remaining requirements (the paper's r̃).
+  [[nodiscard]] core::Res remaining_total() const { return remaining_total_; }
+  /// Local index of the started job, or SIZE_MAX.
+  [[nodiscard]] std::size_t started_job() const { return iota_; }
+  [[nodiscard]] core::Res remaining(std::size_t j) const { return rem_[j]; }
+
+  struct Round {
+    /// (local job index, share) pairs handed out this round.
+    std::vector<std::pair<std::size_t, core::Res>> shares;
+    core::Res used = 0;
+  };
+
+  /// Serve one window of ≤ `procs` jobs within `budget` resource units:
+  /// grow-left / grow-right / move-right around the started job, then finish
+  /// every member but the rightmost, which receives the leftover (becoming
+  /// the new started job unless it finishes). Requires procs ≥ 1, budget ≥ 1
+  /// and !done().
+  Round serve(std::size_t procs, core::Res budget);
+
+  /// Serve every remaining job its full remaining requirement (the Listing-4
+  /// whole-task absorption). Caller guarantees remaining_total() fits its
+  /// budget and remaining_jobs() its processors.
+  Round serve_all();
+
+ private:
+  [[nodiscard]] core::Res key(std::size_t j) const { return rem_[j]; }
+  void unlink(std::size_t j);
+  void reposition_started(std::size_t j);
+
+  std::vector<core::Res> rem_;
+  std::vector<std::size_t> next_, prev_;
+  std::size_t head_, tail_;
+  std::size_t iota_;
+
+  std::size_t remaining_jobs_ = 0;
+  core::Res remaining_total_ = 0;
+};
+
+}  // namespace sharedres::sas

@@ -1,0 +1,109 @@
+#include "sas/weighted.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/checked.hpp"
+
+namespace sharedres::sas {
+
+namespace {
+
+void check_weights(const SasInstance& instance,
+                   const std::vector<Res>& weights) {
+  if (weights.size() != instance.tasks.size()) {
+    throw std::invalid_argument("weights size mismatch");
+  }
+  for (const Res w : weights) {
+    if (w < 1) throw std::invalid_argument("weights must be >= 1");
+  }
+}
+
+/// Smith order of `keys` per unit weight: non-decreasing key/weight,
+/// compared exactly by cross-multiplication. Returns positions into keys.
+std::vector<std::size_t> smith_order(const std::vector<Res>& keys,
+                                     const std::vector<Res>& weights) {
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return static_cast<util::i128>(keys[a]) * weights[b] <
+                            static_cast<util::i128>(keys[b]) * weights[a];
+                   });
+  return order;
+}
+
+/// ⌈(Σ_i w_σ(i) · prefix_σ(i)) / divisor⌉ with σ = Smith order of keys.
+Time weighted_prefix_bound(const std::vector<Res>& keys,
+                           const std::vector<Res>& weights, Res divisor) {
+  const std::vector<std::size_t> order = smith_order(keys, weights);
+  util::i128 total = 0;
+  util::i128 prefix = 0;
+  for (const std::size_t i : order) {
+    prefix += keys[i];
+    total += static_cast<util::i128>(weights[i]) * prefix;
+  }
+  const util::i128 steps = (total + divisor - 1) / divisor;
+  return static_cast<Time>(steps);
+}
+
+}  // namespace
+
+SasResult schedule_sas_weighted(const SasInstance& instance,
+                                const std::vector<Res>& weights) {
+  instance.validate_input();
+  check_weights(instance, weights);
+
+  // Split as in Theorem 4.8, then Smith-order each class: T1 by r(T)/w,
+  // T2 by |T|/w. Orders are positions within each class subset.
+  std::vector<Res> keys1, keys2, w1, w2;
+  for (std::size_t i = 0; i < instance.tasks.size(); ++i) {
+    if (sas_task_class(instance.tasks[i], instance.machines,
+                       instance.capacity) == 1) {
+      keys1.push_back(instance.tasks[i].total_requirement());
+      w1.push_back(weights[i]);
+    } else {
+      keys2.push_back(static_cast<Res>(instance.tasks[i].size()));
+      w2.push_back(weights[i]);
+    }
+  }
+  const std::vector<std::size_t> order1 = smith_order(keys1, w1);
+  const std::vector<std::size_t> order2 = smith_order(keys2, w2);
+  return schedule_sas_ordered(instance, keys1.empty() ? nullptr : &order1,
+                              keys2.empty() ? nullptr : &order2);
+}
+
+Time weighted_objective(const SasResult& result,
+                        const std::vector<Res>& weights) {
+  if (weights.size() != result.completion.size()) {
+    throw std::invalid_argument("weights size mismatch");
+  }
+  Time total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total = util::add_checked(total,
+                              util::mul_checked(weights[i],
+                                                result.completion[i]));
+  }
+  return total;
+}
+
+Time weighted_lower_bound(const SasInstance& instance,
+                          const std::vector<Res>& weights) {
+  instance.validate_input();
+  check_weights(instance, weights);
+  std::vector<Res> totals, sizes;
+  Time weight_sum = 0;
+  for (std::size_t i = 0; i < instance.tasks.size(); ++i) {
+    totals.push_back(instance.tasks[i].total_requirement());
+    sizes.push_back(static_cast<Res>(instance.tasks[i].size()));
+    weight_sum = util::add_checked(weight_sum, weights[i]);
+  }
+  // Each task takes ≥ 1 step, so Σ w_i is always a valid floor.
+  return std::max({weighted_prefix_bound(totals, weights, instance.capacity),
+                   weighted_prefix_bound(sizes, weights,
+                                         static_cast<Res>(instance.machines)),
+                   weight_sum});
+}
+
+}  // namespace sharedres::sas

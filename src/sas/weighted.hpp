@@ -1,0 +1,41 @@
+// Weighted task completion times — an extension beyond the paper.
+//
+// Section 4 minimizes the plain sum of task completion times. In practice
+// tasks carry priorities; the natural generalization minimizes
+// Σ_i w_i · f_i. This module extends the Theorem-4.8 machinery with Smith's
+// rule: within each class the tasks are processed by non-decreasing
+// "processing demand per unit weight" — r(T)/w for the resource-bound class
+// T1, |T|/w for the slot-bound class T2. The per-class structure (budgets,
+// windows, transitions) is unchanged, so every schedule remains feasible;
+// the analysis of Theorem 4.8 is specific to the unweighted objective, so
+// the guarantee here is empirical (see bench_sas) against the weighted
+// generalization of Lemma 4.3 below, which *is* proven:
+//
+//   any schedule satisfies f_σ(i) ≥ Σ_{l≤i} r(T_σ(l))/C (resource) and
+//   f_σ(i) ≥ Σ_{l≤i} |T_σ(l)|/m (slots), so OPT_w ≥ the minimum over orders
+//   of the weighted prefix sums — which Smith's rule attains exactly.
+#pragma once
+
+#include <vector>
+
+#include "sas/sas_scheduler.hpp"
+#include "sas/task.hpp"
+
+namespace sharedres::sas {
+
+/// Run the weighted variant. `weights[i] ≥ 1` is task i's priority.
+/// Requires m ≥ 4.
+[[nodiscard]] SasResult schedule_sas_weighted(const SasInstance& instance,
+                                              const std::vector<Res>& weights);
+
+/// Σ_i w_i · f_i for a result.
+[[nodiscard]] Time weighted_objective(const SasResult& result,
+                                      const std::vector<Res>& weights);
+
+/// The proven weighted lower bound: max of the resource-side and slot-side
+/// Smith-ordered weighted prefix sums (un-ceiled prefixes, floored at 1 step
+/// per task — both relaxations of the true completion times).
+[[nodiscard]] Time weighted_lower_bound(const SasInstance& instance,
+                                        const std::vector<Res>& weights);
+
+}  // namespace sharedres::sas

@@ -1,0 +1,28 @@
+// Offline schedule analysis — summary figures for reports and the CLI.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::sim {
+
+struct ScheduleStats {
+  core::Time makespan = 0;
+  double mean_utilization = 0.0;   ///< Σ shares / (C · makespan)
+  double mean_concurrency = 0.0;   ///< average #jobs per step
+  core::Time full_resource_steps = 0;
+  core::Time idle_capacity_units = 0;  ///< total unused resource units
+  std::size_t max_concurrency = 0;
+  core::Time longest_job_span = 0;     ///< max over jobs of finish − start + 1
+};
+
+/// Compute the summary in one pass over the blocks; O(total assignments).
+[[nodiscard]] ScheduleStats analyze(const core::Instance& instance,
+                                    const core::Schedule& schedule);
+
+/// Multi-line human-readable rendering of the stats.
+[[nodiscard]] std::string to_string(const ScheduleStats& stats);
+
+}  // namespace sharedres::sim

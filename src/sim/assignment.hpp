@@ -1,0 +1,51 @@
+// Explicit processor assignment for a schedule.
+//
+// The model's machines are identical and jobs are non-preemptive, so a
+// schedule is machine-feasible iff no step runs more than m jobs — but a
+// deployment needs the actual mapping. Because every job occupies one
+// contiguous step interval, greedy interval assignment (reuse the first
+// machine that is free) is exact: it succeeds with exactly
+// max-concurrency machines. This module computes that mapping and doubles
+// as a constructive witness for the validator's "≤ m jobs per step ⇒
+// machine-feasible" argument.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::sim {
+
+struct MachineAssignment {
+  /// machine[j] = processor index of job j, or -1 if j never runs.
+  std::vector<int> machine;
+  /// Number of machines the greedy assignment used (== max concurrency).
+  int machines_used = 0;
+  /// Per-job first and last step (1-based; 0 if the job never runs).
+  std::vector<core::Time> start;
+  std::vector<core::Time> finish;
+};
+
+/// Compute the mapping. Throws std::invalid_argument if a job's steps are
+/// not contiguous (i.e. the schedule is preemptive and has no valid
+/// non-migrating assignment).
+[[nodiscard]] MachineAssignment assign_machines(std::size_t num_jobs,
+                                                const core::Schedule& schedule);
+
+/// Render an ASCII Gantt chart (machines × time) of a schedule. Each cell
+/// shows the job index running on that machine in that step ('.' = idle).
+/// Intended for small schedules; `max_width` truncates long timelines.
+[[nodiscard]] std::string render_gantt(std::size_t num_jobs,
+                                       const core::Schedule& schedule,
+                                       std::size_t max_width = 120);
+
+/// Render a one-line utilization sparkline: for each step, the fraction of
+/// `capacity` in use, bucketed into ' ', '.', ':', '-', '=', '#' (≤20%,
+/// ..., 100%).
+[[nodiscard]] std::string render_utilization(const core::Schedule& schedule,
+                                             core::Res capacity,
+                                             std::size_t max_width = 120);
+
+}  // namespace sharedres::sim

@@ -1,0 +1,47 @@
+#include "sim/metrics.hpp"
+
+namespace sharedres::sim {
+
+void MetricsCollector::on_step(const core::StepInfo& info) {
+  const core::Time reps = info.repeat;
+  steps_ += reps;
+
+  if (info.step_case == core::StepCase::kHeavy) heavy_steps_ += reps;
+  if (info.resource_used == budget_) full_resource_steps_ += reps;
+
+  const bool near_full =
+      info.shares.empty() ||
+      info.full_requirement_jobs + 1 >= info.shares.size();
+  if (near_full) near_full_req_steps_ += reps;
+
+  // The proof's per-step dichotomy: full resource ∨ ≥ |W|−1 full-requirement
+  // jobs (every window member is in `shares` except the Case-2 extra job,
+  // which only strengthens near_full's denominator).
+  if (info.resource_used != budget_ && !near_full) {
+    dichotomy_violations_ += reps;
+  }
+
+  if (t_left_ == 0 && info.window_size < window_cap_) {
+    t_left_ = info.first_step;
+  }
+  if (t_right_ == 0 && info.window_requirement < budget_) {
+    t_right_ = info.first_step;
+  }
+
+  // Lemma 3.8: borders are absorbing.
+  if (seen_left_border_ && !info.left_border) ++border_violations_;
+  if (seen_right_border_ && !info.right_border) ++border_violations_;
+  seen_left_border_ = seen_left_border_ || info.left_border;
+  seen_right_border_ = seen_right_border_ || info.right_border;
+
+  used_weighted_ += static_cast<double>(info.resource_used) *
+                    static_cast<double>(reps);
+}
+
+double MetricsCollector::mean_utilization() const {
+  if (steps_ == 0) return 0.0;
+  return used_weighted_ /
+         (static_cast<double>(budget_) * static_cast<double>(steps_));
+}
+
+}  // namespace sharedres::sim

@@ -1,0 +1,69 @@
+// Step-level metrics over an engine run (experiment E7).
+//
+// Records exactly the quantities Theorem 3.3's proof argues about:
+//  * the per-step dichotomy — full resource used (heavy case) or all but one
+//    window job at full requirement (light case);
+//  * T_L = first step with |W_t| < m−1 and T_R = first step with r(W_t) < 1;
+//  * Lemma 3.8's border monotonicity (once at a border, always at it).
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace sharedres::sim {
+
+class MetricsCollector final : public core::StepObserver {
+ public:
+  /// `window_cap` is the engine's k (m−1 for Listing 1, m for unit-size);
+  /// `budget` its per-step resource budget in units.
+  MetricsCollector(std::size_t window_cap, core::Res budget)
+      : window_cap_(window_cap), budget_(budget) {}
+
+  void on_step(const core::StepInfo& info) override;
+
+  [[nodiscard]] core::Time steps() const { return steps_; }
+  [[nodiscard]] core::Time heavy_steps() const { return heavy_steps_; }
+  [[nodiscard]] core::Time light_steps() const { return steps_ - heavy_steps_; }
+  [[nodiscard]] core::Time full_resource_steps() const {
+    return full_resource_steps_;
+  }
+  /// Steps where ≥ |W|−1 jobs got their full requirement.
+  [[nodiscard]] core::Time near_full_requirement_steps() const {
+    return near_full_req_steps_;
+  }
+  /// Steps violating the dichotomy (must be 0; tested).
+  [[nodiscard]] core::Time dichotomy_violations() const {
+    return dichotomy_violations_;
+  }
+
+  /// T_L / T_R of Theorem 3.3's proof; 0 if never reached.
+  [[nodiscard]] core::Time t_left() const { return t_left_; }
+  [[nodiscard]] core::Time t_right() const { return t_right_; }
+
+  /// Lemma 3.8 monotonicity violations (must be 0; tested).
+  [[nodiscard]] core::Time border_violations() const {
+    return border_violations_;
+  }
+
+  /// Mean resource utilization (fraction of budget, step-weighted).
+  [[nodiscard]] double mean_utilization() const;
+
+ private:
+  std::size_t window_cap_;
+  core::Res budget_;
+
+  core::Time steps_ = 0;
+  core::Time heavy_steps_ = 0;
+  core::Time full_resource_steps_ = 0;
+  core::Time near_full_req_steps_ = 0;
+  core::Time dichotomy_violations_ = 0;
+  core::Time t_left_ = 0;
+  core::Time t_right_ = 0;
+  core::Time border_violations_ = 0;
+  bool seen_left_border_ = false;
+  bool seen_right_border_ = false;
+  double used_weighted_ = 0.0;
+};
+
+}  // namespace sharedres::sim

@@ -1,0 +1,33 @@
+// Self-contained SVG rendering of schedules: machine lanes (Gantt) plus a
+// resource-utilization strip. No dependencies; the output opens in any
+// browser. Intended for reports and debugging sessions where the ASCII
+// Gantt is too coarse.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::sim {
+
+struct SvgOptions {
+  int cell_width = 14;    ///< pixels per time step
+  int lane_height = 22;   ///< pixels per machine lane
+  int util_height = 40;   ///< pixels for the utilization strip
+  bool show_labels = true;  ///< job indices inside the bars (wide cells only)
+};
+
+/// Render the schedule as an SVG document. Jobs are colored by index
+/// (golden-angle hue walk, so neighbors differ), lanes follow the greedy
+/// machine assignment of assign_machines(), and the bottom strip shows the
+/// per-step resource utilization as a bar chart.
+[[nodiscard]] std::string render_svg(const core::Instance& instance,
+                                     const core::Schedule& schedule,
+                                     const SvgOptions& options = {});
+
+/// Convenience: write render_svg() to a file; throws on I/O failure.
+void save_svg(const std::string& path, const core::Instance& instance,
+              const core::Schedule& schedule, const SvgOptions& options = {});
+
+}  // namespace sharedres::sim

@@ -1,0 +1,62 @@
+// Checked 64-bit integer arithmetic with 128-bit intermediates.
+//
+// All resource bookkeeping in this library is exact integer arithmetic in
+// "resource units" (see DESIGN.md §2). These helpers centralize the overflow
+// discipline: every product of two user-controlled quantities goes through
+// mul_checked(), and division helpers implement the exact ceiling/floor
+// semantics the paper's bounds use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace sharedres::util {
+
+using i64 = std::int64_t;
+__extension__ typedef __int128 i128;  // GCC/Clang builtin; fine under -Wpedantic
+
+/// Thrown when a checked operation would overflow 64 bits.
+class OverflowError : public std::runtime_error {
+ public:
+  explicit OverflowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Exact product; throws OverflowError if the result does not fit in i64.
+constexpr i64 mul_checked(i64 a, i64 b) {
+  const i128 p = static_cast<i128>(a) * static_cast<i128>(b);
+  if (p > static_cast<i128>(std::numeric_limits<i64>::max()) ||
+      p < static_cast<i128>(std::numeric_limits<i64>::min())) {
+    throw OverflowError("mul_checked: 64-bit overflow");
+  }
+  return static_cast<i64>(p);
+}
+
+/// Exact sum; throws OverflowError if the result does not fit in i64.
+constexpr i64 add_checked(i64 a, i64 b) {
+  const i128 s = static_cast<i128>(a) + static_cast<i128>(b);
+  if (s > static_cast<i128>(std::numeric_limits<i64>::max()) ||
+      s < static_cast<i128>(std::numeric_limits<i64>::min())) {
+    throw OverflowError("add_checked: 64-bit overflow");
+  }
+  return static_cast<i64>(s);
+}
+
+/// ⌈a / b⌉ for a ≥ 0, b > 0.
+constexpr i64 ceil_div(i64 a, i64 b) {
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// ⌊a / b⌋ for a ≥ 0, b > 0 (plain division, named for symmetry).
+constexpr i64 floor_div(i64 a, i64 b) { return a / b; }
+
+/// Least common multiple with overflow checking.
+constexpr i64 lcm_checked(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  const i64 g = std::gcd(a, b);
+  return mul_checked(a / g, b);
+}
+
+}  // namespace sharedres::util

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace sharedres::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positionals_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  queried_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::vector<std::string> Cli::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    if (!queried_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace sharedres::util

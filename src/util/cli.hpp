@@ -1,0 +1,38 @@
+// Minimal command-line parser for example/bench binaries.
+//
+// Accepts `--key=value` and `--flag` arguments; anything else is a positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sharedres::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Keys seen on the command line that were never queried — typo detection.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positionals_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace sharedres::util

@@ -1,0 +1,40 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+
+namespace sharedres::util {
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = threads < count ? threads : count;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sharedres::util

@@ -1,0 +1,44 @@
+// Deterministic parallel sweeps.
+//
+// Benchmarks and property sweeps evaluate many independent (instance, seed)
+// cells; this helper fans them out over hardware threads while keeping the
+// output order — and therefore every printed table — identical to a serial
+// run. Work items must not share mutable state (each cell gets its own Rng
+// stream via the seed discipline of the workloads module).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sharedres::util {
+
+/// Number of worker threads to use: hardware concurrency, at least 1,
+/// capped by the `max_threads` argument.
+[[nodiscard]] inline std::size_t default_threads(std::size_t max_threads = 64) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t n = hw == 0 ? 1 : hw;
+  return n < max_threads ? n : max_threads;
+}
+
+/// Invoke fn(i) for i in [0, count) across `threads` workers (dynamic
+/// chunking via an atomic cursor). Exceptions are captured and the first one
+/// rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = default_threads());
+
+/// Map [0, count) through fn in parallel, collecting results in index order.
+template <class T>
+std::vector<T> parallel_map(std::size_t count,
+                            const std::function<T(std::size_t)>& fn,
+                            std::size_t threads = default_threads()) {
+  std::vector<T> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, threads);
+  return results;
+}
+
+}  // namespace sharedres::util

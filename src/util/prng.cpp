@@ -1,0 +1,107 @@
+#include "util/prng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sharedres::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+      0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  s_ = acc;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  child.gen_ = gen_;
+  child.gen_.long_jump();
+  // Advance the parent so repeated splits yield distinct streams.
+  (void)gen_();
+  return child;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(gen_());  // full 64-bit range
+  // Lemire-style rejection sampling for an unbiased bounded draw.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = gen_();
+    const __uint128_t m = static_cast<__uint128_t>(r) * range;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return lo + static_cast<std::int64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::uniform01() {
+  // 53 uniform bits in the mantissa → uniform double in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::pareto(double alpha, double lo, double hi) {
+  assert(alpha > 0 && lo > 0 && lo <= hi);
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi].
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double u = uniform01();
+  return std::pow(la * ha / (ha - u * (ha - la)), 1.0 / alpha);
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0);
+  double u = uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -std::log1p(-u) / lambda;
+}
+
+}  // namespace sharedres::util

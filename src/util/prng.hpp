@@ -1,0 +1,78 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// Experiments must reproduce bit-identically across standard libraries, so we
+// implement xoshiro256** (Blackman & Vigna) seeded via splitmix64, plus the
+// handful of distributions the workload generators need. std::uniform_*
+// distributions are implementation-defined and deliberately avoided.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sharedres::util {
+
+/// xoshiro256** 1.0 — fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Long-jump equivalent to 2^192 calls; used to derive independent streams.
+  void long_jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Seeded random source with portable distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Independent child stream (e.g. one per parallel worker).
+  [[nodiscard]] Rng split();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Bounded Pareto with shape `alpha` on [lo, hi] — heavy-tail workloads.
+  double pareto(double alpha, double lo, double hi);
+
+  /// Exponential with rate `lambda`.
+  double exponential(double lambda);
+
+  /// Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return gen_(); }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace sharedres::util

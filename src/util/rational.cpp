@@ -1,0 +1,94 @@
+#include "util/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sharedres::util {
+
+Rational::Rational(i64 numerator, i64 denominator)
+    : num_(numerator), den_(denominator) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const i64 g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+i64 Rational::floor() const {
+  const i64 q = num_ / den_;
+  return (num_ % den_ != 0 && num_ < 0) ? q - 1 : q;
+}
+
+i64 Rational::ceil() const {
+  const i64 q = num_ / den_;
+  return (num_ % den_ != 0 && num_ > 0) ? q + 1 : q;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d); keeps intermediates small.
+  const i64 l = lcm_checked(den_, o.den_);
+  num_ = add_checked(mul_checked(num_, l / den_), mul_checked(o.num_, l / o.den_));
+  den_ = l;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-cancel before multiplying to delay overflow as long as possible.
+  const i64 g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const i64 g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  num_ = mul_checked(num_ / g1, o.num_ / g2);
+  den_ = mul_checked(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  if (o.num_ == 0) throw std::invalid_argument("Rational: division by zero");
+  Rational inv;
+  inv.num_ = o.den_;
+  inv.den_ = o.num_;
+  if (inv.den_ < 0) {
+    inv.num_ = -inv.num_;
+    inv.den_ = -inv.den_;
+  }
+  return *this *= inv;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const i128 lhs = static_cast<i128>(a.num_) * b.den_;
+  const i128 rhs = static_cast<i128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace sharedres::util

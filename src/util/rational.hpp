@@ -1,0 +1,65 @@
+// Exact rational numbers over 64-bit integers.
+//
+// Used for I/O, reporting, and ratio statistics (e.g. measured |S|/OPT versus
+// the theoretical 2 + 1/(m−2)). The scheduling engines themselves work on
+// integer resource units and never touch this type on their hot paths.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "util/checked.hpp"
+
+namespace sharedres::util {
+
+/// An exact rational p/q, always stored normalized: gcd(|p|, q) == 1, q > 0.
+/// All operations are overflow-checked; intermediates use 128 bits.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(i64 numerator) : num_(numerator), den_(1) {}  // NOLINT(google-explicit-constructor)
+  Rational(i64 numerator, i64 denominator);
+
+  [[nodiscard]] constexpr i64 num() const { return num_; }
+  [[nodiscard]] constexpr i64 den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// ⌈·⌉ and ⌊·⌋ as exact integers.
+  [[nodiscard]] i64 ceil() const;
+  [[nodiscard]] i64 floor() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace sharedres::util

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sharedres::util {
+
+void Summary::ensure_sorted() const {
+  if (sorted_.size() != xs_.size()) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Summary::min() const {
+  if (xs_.empty()) throw std::logic_error("Summary::min on empty sample");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  if (xs_.empty()) throw std::logic_error("Summary::max on empty sample");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::mean() const {
+  if (xs_.empty()) throw std::logic_error("Summary::mean on empty sample");
+  double s = 0.0;
+  for (const double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Summary::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double mu = mean();
+  double s = 0.0;
+  for (const double x : xs_) s += (x - mu) * (x - mu);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("Summary::percentile on empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string Summary::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  if (xs_.empty()) return "(empty)";
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "]";
+  return os.str();
+}
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace sharedres::util

@@ -1,0 +1,54 @@
+// Summary statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sharedres::util {
+
+/// Full-sample summary: stores the observations, computes order statistics.
+class Summary {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n−1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// "mean ± stddev [min, max]" rendered with the given precision.
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  void ensure_sorted() const;
+};
+
+/// Streaming accumulator (Welford) for cases where storing samples is too big.
+class OnlineStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sharedres::util

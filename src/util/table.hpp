@@ -1,0 +1,62 @@
+// ASCII table and CSV rendering for benchmark output.
+//
+// Every bench binary prints its experiment as a table (the "rows the paper
+// would report") and can optionally dump the same data as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sharedres::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <class... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  template <class T>
+  static std::string format_cell(const T& value);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for Table::add).
+std::string fixed(double value, int precision = 4);
+
+}  // namespace sharedres::util
+
+#include <sstream>
+
+namespace sharedres::util {
+
+template <class T>
+std::string Table::format_cell(const T& value) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(value);
+  } else {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+}
+
+}  // namespace sharedres::util

@@ -1,0 +1,85 @@
+#include "workloads/binpack_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sharedres::workloads {
+
+namespace {
+
+using binpack::PackingInstance;
+using core::Res;
+
+Res frac_units(double frac, Res capacity) {
+  const double units = frac * static_cast<double>(capacity);
+  return std::max<Res>(1, static_cast<Res>(std::llround(
+                              std::min(units, 9.0e17))));
+}
+
+}  // namespace
+
+PackingInstance uniform_items(const PackConfig& cfg, double lo_frac,
+                              double hi_frac) {
+  util::Rng rng(cfg.seed);
+  PackingInstance inst;
+  inst.capacity = cfg.capacity;
+  inst.cardinality = cfg.cardinality;
+  inst.items.reserve(cfg.items);
+  for (std::size_t i = 0; i < cfg.items; ++i) {
+    inst.items.push_back(
+        frac_units(rng.uniform_real(lo_frac, hi_frac), cfg.capacity));
+  }
+  return inst;
+}
+
+PackingInstance router_tables(const PackConfig& cfg, double alpha,
+                              double lo_frac, double hi_frac) {
+  util::Rng rng(cfg.seed);
+  PackingInstance inst;
+  inst.capacity = cfg.capacity;
+  inst.cardinality = cfg.cardinality;
+  inst.items.reserve(cfg.items);
+  for (std::size_t i = 0; i < cfg.items; ++i) {
+    inst.items.push_back(
+        frac_units(rng.pareto(alpha, lo_frac, hi_frac), cfg.capacity));
+  }
+  return inst;
+}
+
+PackingInstance half_plus_epsilon_items(const PackConfig& cfg,
+                                        double epsilon) {
+  util::Rng rng(cfg.seed);
+  PackingInstance inst;
+  inst.capacity = cfg.capacity;
+  inst.cardinality = cfg.cardinality;
+  inst.items.reserve(cfg.items);
+  for (std::size_t i = 0; i < cfg.items; ++i) {
+    const double frac = 0.5 * (1.0 + rng.uniform_real(0.0, epsilon));
+    inst.items.push_back(frac_units(frac, cfg.capacity));
+  }
+  return inst;
+}
+
+PackingInstance cardinality_trap_items(const PackConfig& cfg,
+                                       double tiny_frac) {
+  util::Rng rng(cfg.seed);
+  PackingInstance inst;
+  inst.capacity = cfg.capacity;
+  inst.cardinality = cfg.cardinality;
+  const auto k = static_cast<std::size_t>(cfg.cardinality);
+  inst.items.reserve(cfg.items * k);
+  for (std::size_t g = 0; g < cfg.items; ++g) {
+    // k−1 tiny items, then one exactly-bin-sized item. NextFit fills a bin
+    // with the tinies plus a big-item part and closes it FULL; the big
+    // item's sliver spills into the next bin, which then closes on
+    // cardinality while nearly empty — two bins per group.
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      inst.items.push_back(
+          frac_units(tiny_frac * rng.uniform_real(0.5, 1.0), cfg.capacity));
+    }
+    inst.items.push_back(cfg.capacity);
+  }
+  return inst;
+}
+
+}  // namespace sharedres::workloads

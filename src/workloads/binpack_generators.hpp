@@ -1,0 +1,45 @@
+// Splittable-packing item generators (experiment E4).
+//
+// The motivating application of [4] is memory allocation in pipelined router
+// forwarding engines: forwarding tables (items) are split across memory banks
+// (bins), each bank serving at most k tables per lookup cycle.
+#pragma once
+
+#include "binpack/packing.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::workloads {
+
+struct PackConfig {
+  core::Res capacity = 1'000'000;
+  int cardinality = 8;
+  std::size_t items = 256;
+  std::uint64_t seed = 1;
+};
+
+/// Item sizes uniform on [lo_frac, hi_frac] of a bin.
+binpack::PackingInstance uniform_items(const PackConfig& cfg,
+                                       double lo_frac = 0.05,
+                                       double hi_frac = 1.5);
+
+/// Mostly small tables with a few very large ones (bounded Pareto).
+binpack::PackingInstance router_tables(const PackConfig& cfg,
+                                       double alpha = 1.1,
+                                       double lo_frac = 0.02,
+                                       double hi_frac = 4.0);
+
+/// Items just above half a bin; any packer lands near n/2 bins, so this
+/// family probes constant-factor overheads and LB tightness.
+binpack::PackingInstance half_plus_epsilon_items(const PackConfig& cfg,
+                                                 double epsilon = 0.02);
+
+/// Adversarial for NextFit: repeated groups of k tiny items followed by one
+/// bin-sized item, in that input order. NextFit burns a whole bin's
+/// cardinality on the tinies (leaving it almost empty) and then needs a
+/// fresh bin for the big item — ratio → 2 — while the sorted sliding window
+/// pairs k−1 tinies with big-item parts every bin (ratio → k/(k−1)).
+/// `cfg.items` counts groups of k+1 items.
+binpack::PackingInstance cardinality_trap_items(const PackConfig& cfg,
+                                                double tiny_frac = 0.002);
+
+}  // namespace sharedres::workloads

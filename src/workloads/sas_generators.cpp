@@ -1,0 +1,79 @@
+#include "workloads/sas_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sharedres::workloads {
+
+namespace {
+
+using core::Res;
+using sas::SasInstance;
+using sas::Task;
+
+Res frac_units(double frac, Res capacity) {
+  const double units = frac * static_cast<double>(capacity);
+  return std::max<Res>(1, static_cast<Res>(std::llround(
+                              std::min(units, 9.0e17))));
+}
+
+/// A task whose jobs all have requirements around `frac` of capacity.
+Task make_task(util::Rng& rng, std::size_t jobs, double frac, Res capacity) {
+  Task task;
+  task.requirements.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    task.requirements.push_back(
+        frac_units(frac * rng.uniform_real(0.6, 1.4), capacity));
+  }
+  return task;
+}
+
+std::size_t draw_jobs(util::Rng& rng, const SasConfig& cfg) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(std::max<std::size_t>(1, cfg.min_jobs)),
+                      static_cast<std::int64_t>(std::max(cfg.min_jobs, cfg.max_jobs))));
+}
+
+}  // namespace
+
+SasInstance mixed_task_set(const SasConfig& cfg, double p_heavy) {
+  util::Rng rng(cfg.seed);
+  SasInstance inst;
+  inst.machines = cfg.machines;
+  inst.capacity = cfg.capacity;
+  const double heavy_frac = 0.35;  // well above 1/(m−1) for any tested m
+  const double light_frac = 0.25 / static_cast<double>(cfg.machines);
+  for (std::size_t i = 0; i < cfg.tasks; ++i) {
+    const std::size_t jobs = draw_jobs(rng, cfg);
+    const double frac = rng.bernoulli(p_heavy) ? heavy_frac : light_frac;
+    inst.tasks.push_back(make_task(rng, jobs, frac, cfg.capacity));
+  }
+  return inst;
+}
+
+SasInstance heavy_task_set(const SasConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  SasInstance inst;
+  inst.machines = cfg.machines;
+  inst.capacity = cfg.capacity;
+  for (std::size_t i = 0; i < cfg.tasks; ++i) {
+    inst.tasks.push_back(
+        make_task(rng, draw_jobs(rng, cfg), 0.4, cfg.capacity));
+  }
+  return inst;
+}
+
+SasInstance light_task_set(const SasConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  SasInstance inst;
+  inst.machines = cfg.machines;
+  inst.capacity = cfg.capacity;
+  const double light_frac = 0.2 / static_cast<double>(cfg.machines);
+  for (std::size_t i = 0; i < cfg.tasks; ++i) {
+    inst.tasks.push_back(
+        make_task(rng, draw_jobs(rng, cfg), light_frac, cfg.capacity));
+  }
+  return inst;
+}
+
+}  // namespace sharedres::workloads

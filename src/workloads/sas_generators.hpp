@@ -1,0 +1,30 @@
+// Synthetic SAS task-set generators (experiment E5).
+#pragma once
+
+#include "sas/task.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::workloads {
+
+struct SasConfig {
+  int machines = 8;
+  core::Res capacity = 1'000'000;
+  std::size_t tasks = 32;
+  std::size_t min_jobs = 1;   ///< jobs per task drawn uniformly from this range
+  std::size_t max_jobs = 24;
+  std::uint64_t seed = 1;
+};
+
+/// Mixed cloud workload: each task is either communication-heavy (few jobs
+/// with large requirements — lands in T1) or embarrassingly parallel (many
+/// tiny-requirement jobs — lands in T2), with probability p_heavy of the
+/// former. Mirrors the composed-services story of the paper's Section 4.
+sas::SasInstance mixed_task_set(const SasConfig& cfg, double p_heavy = 0.4);
+
+/// All tasks heavy (exercise Listing 3 / Lemma 4.1 alone).
+sas::SasInstance heavy_task_set(const SasConfig& cfg);
+
+/// All tasks light (exercise Listing 4 / Lemma 4.2 alone).
+sas::SasInstance light_task_set(const SasConfig& cfg);
+
+}  // namespace sharedres::workloads

@@ -1,0 +1,164 @@
+#include "workloads/sos_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sharedres::workloads {
+
+namespace {
+
+using core::Instance;
+using core::Job;
+using core::Res;
+
+Res clamp_units(double frac, Res capacity, Res lo = 1) {
+  const double units = frac * static_cast<double>(capacity);
+  const double clamped =
+      std::min(std::max(units, static_cast<double>(lo)), 9.0e17);
+  return std::max<Res>(lo, static_cast<Res>(std::llround(clamped)));
+}
+
+Res draw_size(util::Rng& rng, const SosConfig& cfg) {
+  return cfg.max_size <= 1 ? 1 : rng.uniform_int(1, cfg.max_size);
+}
+
+}  // namespace
+
+Instance uniform_instance(const SosConfig& cfg, double lo_frac,
+                          double hi_frac) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  const Res lo = clamp_units(lo_frac, cfg.capacity);
+  const Res hi = std::max(lo, clamp_units(hi_frac, cfg.capacity));
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    jobs.push_back(Job{draw_size(rng, cfg), rng.uniform_int(lo, hi)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
+Instance bimodal_instance(const SosConfig& cfg, double light_frac,
+                          double heavy_frac, double p_heavy) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    const double base = rng.bernoulli(p_heavy) ? heavy_frac : light_frac;
+    // ±25% jitter around the mode keeps requirements distinct.
+    const double frac = base * rng.uniform_real(0.75, 1.25);
+    jobs.push_back(Job{draw_size(rng, cfg), clamp_units(frac, cfg.capacity)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
+Instance pareto_instance(const SosConfig& cfg, double alpha, double lo_frac,
+                         double hi_frac) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    const double frac = rng.pareto(alpha, lo_frac, hi_frac);
+    jobs.push_back(Job{draw_size(rng, cfg), clamp_units(frac, cfg.capacity)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
+Instance near_boundary_instance(const SosConfig& cfg, double epsilon_frac) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  const int denom = std::max(2, cfg.machines - 1);
+  const double base = 1.0 / static_cast<double>(denom);
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    // Slightly above C/(m−1): m−1 of these never fit together.
+    const double frac = base * (1.0 + rng.uniform_real(0.0, epsilon_frac));
+    jobs.push_back(Job{draw_size(rng, cfg), clamp_units(frac, cfg.capacity)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
+Instance oversized_instance(const SosConfig& cfg, double p_oversized,
+                            double max_over) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    double frac;
+    if (rng.bernoulli(p_oversized)) {
+      frac = rng.uniform_real(1.0, max_over);  // r_j > capacity
+    } else {
+      frac = rng.uniform_real(0.01, 0.4);
+    }
+    jobs.push_back(Job{draw_size(rng, cfg), clamp_units(frac, cfg.capacity)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
+Instance tiny_grid_instance(int machines, std::size_t n, Res grid,
+                            Res max_size, std::uint64_t seed) {
+  if (grid < 1) throw std::invalid_argument("tiny_grid_instance: grid < 1");
+  util::Rng rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Res p = max_size <= 1 ? 1 : rng.uniform_int(1, max_size);
+    // Requirement between 1 and ~1.5·capacity on the coarse grid.
+    const Res r = rng.uniform_int(1, grid + grid / 2);
+    jobs.push_back(Job{p, r});
+  }
+  return Instance(machines, grid, std::move(jobs));
+}
+
+Instance make_instance(const std::string& family, const SosConfig& cfg) {
+  if (family == "uniform") return uniform_instance(cfg);
+  if (family == "bimodal") return bimodal_instance(cfg);
+  if (family == "pareto") return pareto_instance(cfg);
+  if (family == "nearboundary") return near_boundary_instance(cfg);
+  if (family == "oversized") return oversized_instance(cfg);
+  throw std::invalid_argument("unknown instance family: " + family);
+}
+
+online::OnlineInstance online_arrivals(const std::string& family,
+                                       const SosConfig& cfg,
+                                       std::size_t burst, core::Time gap) {
+  if (burst < 1 || gap < 1) {
+    throw std::invalid_argument("online_arrivals: burst and gap must be >= 1");
+  }
+  const Instance base = make_instance(family, cfg);
+  // Derive burst jitter from a separate stream so the job shapes match the
+  // offline family exactly.
+  util::Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  online::OnlineInstance out;
+  out.machines = cfg.machines;
+  out.capacity = cfg.capacity;
+  out.jobs.reserve(base.size());
+  // Arrival order is independent of the requirement sort.
+  std::vector<core::JobId> arrival(base.size());
+  for (core::JobId j = 0; j < base.size(); ++j) arrival[j] = j;
+  rng.shuffle(arrival);
+
+  core::Time release = 1;
+  std::size_t in_burst = 0;
+  std::size_t burst_size = static_cast<std::size_t>(
+      rng.uniform_int(1, 2 * static_cast<std::int64_t>(burst)));
+  for (const core::JobId j : arrival) {
+    if (in_burst >= burst_size) {
+      release += gap;
+      in_burst = 0;
+      burst_size = static_cast<std::size_t>(
+          rng.uniform_int(1, 2 * static_cast<std::int64_t>(burst)));
+    }
+    out.jobs.push_back(online::OnlineJob{release, base.job(j)});
+    ++in_burst;
+  }
+  return out;
+}
+
+const std::vector<std::string>& instance_families() {
+  static const std::vector<std::string> kFamilies = {
+      "uniform", "bimodal", "pareto", "nearboundary", "oversized"};
+  return kFamilies;
+}
+
+}  // namespace sharedres::workloads

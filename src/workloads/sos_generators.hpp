@@ -1,0 +1,76 @@
+// Synthetic SoS instance generators (experiment substrate).
+//
+// The paper reports no experiments, so these distributions define the
+// workloads of the E1–E8 suite (see DESIGN.md §5 and EXPERIMENTS.md). All
+// generators are deterministic given (seed, parameters): they draw through
+// util::Rng only, and Instance's stable sort keeps tie order reproducible.
+//
+// Requirements are drawn on a grid of `capacity` units, which keeps all
+// engine arithmetic exact (DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "online/online_model.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::workloads {
+
+/// Common knobs for the SoS generators.
+struct SosConfig {
+  int machines = 8;
+  core::Res capacity = 1'000'000;  ///< resource units per step
+  std::size_t jobs = 256;
+  core::Res max_size = 1;   ///< p_j drawn uniformly from [1, max_size]
+  std::uint64_t seed = 1;
+};
+
+/// r_j uniform on [lo_frac, hi_frac] of capacity (clamped to ≥ 1 unit).
+core::Instance uniform_instance(const SosConfig& cfg, double lo_frac = 0.01,
+                                double hi_frac = 0.5);
+
+/// Bimodal: mostly light jobs (r ≈ light_frac·C), a p_heavy fraction of heavy
+/// jobs (r ≈ heavy_frac·C) — "a few data-intensive jobs among many".
+core::Instance bimodal_instance(const SosConfig& cfg, double light_frac = 0.02,
+                                double heavy_frac = 0.6,
+                                double p_heavy = 0.15);
+
+/// Bounded-Pareto heavy tail for r_j, shape `alpha` (smaller = heavier tail).
+core::Instance pareto_instance(const SosConfig& cfg, double alpha = 1.2,
+                               double lo_frac = 0.005, double hi_frac = 1.0);
+
+/// Adversarial for naive packers: requirements just above C/(m−1), so that
+/// m−1 jobs never quite fit and window placement decides everything.
+core::Instance near_boundary_instance(const SosConfig& cfg,
+                                      double epsilon_frac = 0.02);
+
+/// Jobs with r_j above capacity (r_j > 1 in paper units, the bin-packing
+/// "items larger than a bin" regime) mixed with small jobs.
+core::Instance oversized_instance(const SosConfig& cfg,
+                                  double p_oversized = 0.2,
+                                  double max_over = 3.0);
+
+/// Tiny random instance on a coarse grid — the exact-solver regime. All
+/// requirements are multiples of capacity/grid.
+core::Instance tiny_grid_instance(int machines, std::size_t jobs,
+                                  core::Res grid, core::Res max_size,
+                                  std::uint64_t seed);
+
+/// Named dispatch used by benches: "uniform", "bimodal", "pareto",
+/// "nearboundary", "oversized". Throws on unknown names.
+core::Instance make_instance(const std::string& family, const SosConfig& cfg);
+
+/// Online arrivals (extension): jobs from `family` released in bursts —
+/// `burst` jobs arrive together every `gap` steps (Poisson-flavored jitter
+/// on the burst sizes). Deterministic per seed.
+online::OnlineInstance online_arrivals(const std::string& family,
+                                       const SosConfig& cfg,
+                                       std::size_t burst = 8,
+                                       core::Time gap = 4);
+
+/// The list of family names accepted by make_instance.
+const std::vector<std::string>& instance_families();
+
+}  // namespace sharedres::workloads

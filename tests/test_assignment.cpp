@@ -1,0 +1,88 @@
+// Machine assignment and rendering: the greedy interval assignment is a
+// constructive witness that ≤ m concurrent jobs ⇒ m machines suffice.
+#include <gtest/gtest.h>
+
+#include "core/sos_scheduler.hpp"
+#include "sim/assignment.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Assignment;
+using core::Schedule;
+
+TEST(MachineAssignment, HandCase) {
+  Schedule s;
+  s.append(2, {Assignment{0, 5}, Assignment{1, 5}});
+  s.append(1, {Assignment{1, 5}, Assignment{2, 5}});
+  const auto result = sim::assign_machines(3, s);
+  EXPECT_EQ(result.machines_used, 2);
+  EXPECT_EQ(result.start[0], 1);
+  EXPECT_EQ(result.finish[0], 2);
+  EXPECT_EQ(result.start[2], 3);
+  // Job 2 can reuse job 0's machine.
+  EXPECT_EQ(result.machine[2], result.machine[0]);
+  EXPECT_NE(result.machine[1], result.machine[0]);
+}
+
+TEST(MachineAssignment, RejectsPreemptiveSchedules) {
+  Schedule s;
+  s.append(1, {Assignment{0, 5}});
+  s.append(1, {Assignment{1, 5}});
+  s.append(1, {Assignment{0, 5}});
+  EXPECT_THROW((void)sim::assign_machines(2, s), std::invalid_argument);
+}
+
+TEST(MachineAssignment, NeverUsesMoreThanMMachinesOnEngineOutput) {
+  for (const int m : {3, 5, 9}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const core::Instance inst = workloads::pareto_instance(
+          {.machines = m, .capacity = 10'000, .jobs = 50, .max_size = 3,
+           .seed = seed});
+      const Schedule s = core::schedule_sos(inst);
+      const auto result = sim::assign_machines(inst.size(), s);
+      EXPECT_LE(result.machines_used, m) << "m=" << m << " seed=" << seed;
+      // Every job got a machine and a contiguous interval.
+      for (core::JobId j = 0; j < inst.size(); ++j) {
+        EXPECT_GE(result.machine[j], 0);
+        EXPECT_LE(result.start[j], result.finish[j]);
+      }
+      // No two jobs overlap on one machine.
+      for (core::JobId a = 0; a < inst.size(); ++a) {
+        for (core::JobId b = a + 1; b < inst.size(); ++b) {
+          if (result.machine[a] != result.machine[b]) continue;
+          const bool disjoint = result.finish[a] < result.start[b] ||
+                                result.finish[b] < result.start[a];
+          ASSERT_TRUE(disjoint) << "jobs " << a << "," << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(Rendering, GanttAndUtilizationShapes) {
+  Schedule s;
+  s.append(2, {Assignment{0, 6}, Assignment{1, 4}});
+  s.append(3, {Assignment{1, 10}});
+  const std::string gantt = sim::render_gantt(2, s);
+  EXPECT_NE(gantt.find("M0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("M1 |"), std::string::npos);
+  const std::string util = sim::render_utilization(s, 10);
+  EXPECT_EQ(util, "|#####|");  // both phases fully utilized
+  const std::string util_half = sim::render_utilization(s, 20);
+  EXPECT_EQ(util_half.size(), 7u);
+  EXPECT_NE(util_half, "|#####|");
+}
+
+TEST(Rendering, TruncatesLongTimelines) {
+  Schedule s;
+  s.append(500, {Assignment{0, 1}});
+  const std::string gantt = sim::render_gantt(1, s, 40);
+  EXPECT_NE(gantt.find("..."), std::string::npos);
+  const std::string util = sim::render_utilization(s, 10, 40);
+  EXPECT_NE(util.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,101 @@
+// Baseline schedulers: feasibility, hand-computed makespans, and the
+// relationships the E1/E4 comparisons rely on (sliding window ≤ baselines on
+// the workloads where the paper's model matters).
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using baselines::ListOrder;
+using core::Instance;
+using core::Job;
+using core::Time;
+
+TEST(Sequential, ExactMakespan) {
+  // (p=2,r=3): 2 steps; (p=1,r=25) with C=10: 3 steps; total 5.
+  const Instance inst(1, 10, {Job{2, 3}, Job{1, 25}});
+  const auto s = baselines::schedule_sequential(inst);
+  EXPECT_TRUE(core::validate(inst, s).ok);
+  EXPECT_EQ(s.makespan(), 5);
+}
+
+TEST(GareyGraham, ValidAndHandComputed) {
+  // m=2, C=10. Jobs sorted by r: a(p=4,r=2), b(p=2,r=5), c(p=3,r=6).
+  // GG input order: a,b admitted at t=1 (2+5=7 ≤ 10); c (6) waits.
+  // b ends at t=2, c admitted at t=3 (2+6=8), a ends t=4, c ends t=5.
+  const Instance inst(2, 10, {Job{4, 2}, Job{2, 5}, Job{3, 6}});
+  const auto s = baselines::schedule_garey_graham(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(s.makespan(), 5);
+}
+
+TEST(GareyGraham, OversizedJobRunsAtCapacity) {
+  const Instance inst(2, 10, {Job{1, 25}});
+  const auto s = baselines::schedule_garey_graham(inst);
+  EXPECT_TRUE(core::validate(inst, s).ok);
+  EXPECT_EQ(s.makespan(), 3);  // ⌈25/10⌉
+}
+
+TEST(GareyGraham, AllOrdersProduceValidSchedules) {
+  const Instance inst = workloads::pareto_instance(
+      {.machines = 4, .capacity = 1'000, .jobs = 50, .max_size = 3, .seed = 2});
+  for (const auto order :
+       {ListOrder::kInput, ListOrder::kDecreasingRequirement,
+        ListOrder::kDecreasingTotal}) {
+    const auto s = baselines::schedule_garey_graham(inst, order);
+    const auto check = core::validate(inst, s);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_GE(s.makespan(), core::lower_bounds(inst).combined());
+  }
+}
+
+TEST(EqualSplit, ValidOnMixedInstance) {
+  const Instance inst = workloads::bimodal_instance(
+      {.machines = 4, .capacity = 1'000, .jobs = 30, .max_size = 2, .seed = 3});
+  const auto s = baselines::schedule_equal_split(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+}
+
+TEST(EqualSplit, HandlesTinyCapacity) {
+  // capacity 3 < m = 8: at most 3 jobs can run per step (share ≥ 1 each).
+  const Instance inst(8, 3, {Job{1, 2}, Job{1, 2}, Job{1, 2}, Job{1, 2},
+                             Job{1, 2}, Job{1, 2}});
+  const auto s = baselines::schedule_equal_split(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+}
+
+TEST(Comparison, SlidingWindowNeverLosesBadlyToBaselines) {
+  // On requirement-dominated instances the window algorithm should be at
+  // least competitive with full-requirement list scheduling.
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    const Instance inst = workloads::near_boundary_instance(
+        {.machines = 6, .capacity = 10'000, .jobs = 90, .max_size = 2,
+         .seed = seed});
+    const Time window = core::schedule_sos(inst).makespan();
+    const Time gg = baselines::schedule_garey_graham(inst).makespan();
+    EXPECT_LE(window, gg + gg / 2 + 2) << "seed " << seed;
+  }
+}
+
+TEST(Comparison, WindowBeatsGareyGrahamOnSplitFriendlyInstances) {
+  // Near-boundary requirements (just above C/(m−1)): GG can never co-run
+  // m−1 jobs at full requirement, the window algorithm shares fractionally.
+  const Instance inst = workloads::near_boundary_instance(
+      {.machines = 8, .capacity = 100'000, .jobs = 140, .max_size = 1,
+       .seed = 99});
+  const Time window = core::schedule_sos_unit(inst).makespan();
+  const Time gg = baselines::schedule_garey_graham(inst).makespan();
+  EXPECT_LT(window, gg);
+}
+
+}  // namespace
+}  // namespace sharedres

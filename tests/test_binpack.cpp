@@ -1,0 +1,200 @@
+// Bin packing with cardinality constraints and splittable items:
+// validator, Corollary-3.9 packer (via the unit-SoS reduction), baselines,
+// lower bounds, and ratio checks against exact optima on small instances.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "binpack/packers.hpp"
+#include "binpack/packing.hpp"
+#include "exact/exact_sos.hpp"
+#include "workloads/binpack_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using binpack::Packing;
+using binpack::PackingInstance;
+using core::Res;
+
+TEST(PackingValidator, AcceptsValidRejectsInvalid) {
+  const PackingInstance inst{10, 2, {6, 6, 8}};
+  Packing good;
+  good.bins = {{{0, 6}, {1, 4}}, {{1, 2}, {2, 8}}};
+  EXPECT_TRUE(binpack::validate(inst, good).ok);
+
+  Packing overfull;
+  overfull.bins = {{{0, 6}, {2, 8}}, {{1, 6}}};
+  EXPECT_FALSE(binpack::validate(inst, overfull).ok);
+
+  Packing too_many_parts;
+  too_many_parts.bins = {{{0, 6}, {1, 2}, {2, 2}}, {{1, 4}, {2, 6}}};
+  EXPECT_FALSE(binpack::validate(inst, too_many_parts).ok);
+
+  Packing incomplete;
+  incomplete.bins = {{{0, 6}, {1, 4}}, {{1, 2}, {2, 7}}};
+  EXPECT_FALSE(binpack::validate(inst, incomplete).ok);
+
+  Packing duplicate_in_bin;
+  duplicate_in_bin.bins = {{{0, 3}, {0, 3}}, {{1, 6}}, {{2, 8}}};
+  EXPECT_FALSE(binpack::validate(inst, duplicate_in_bin).ok);
+}
+
+TEST(PackingLowerBounds, HandComputed) {
+  // C=10, k=2, items 6,6,6,25.
+  const PackingInstance inst{10, 2, {6, 6, 6, 25}};
+  const auto lb = binpack::packing_lower_bounds(inst);
+  EXPECT_EQ(lb.volume, 5u);  // ⌈43/10⌉
+  EXPECT_EQ(lb.single, 3u);  // ⌈25/10⌉
+  EXPECT_EQ(lb.parts, 3u);   // ⌈(1+1+1+3)/2⌉
+  EXPECT_EQ(lb.combined(), 5u);
+}
+
+TEST(Packers, SlidingWindowProducesValidPacking) {
+  const PackingInstance inst =
+      workloads::uniform_items({.capacity = 1'000, .cardinality = 4,
+                                .items = 60, .seed = 3});
+  const Packing p = binpack::sliding_window_packing(inst);
+  const auto check = binpack::validate(inst, p);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GE(p.bin_count(), binpack::packing_lower_bounds(inst).combined());
+}
+
+TEST(Packers, NextFitValidAndNeverBetterThanVolumeBound) {
+  const PackingInstance inst = workloads::router_tables(
+      {.capacity = 1'000, .cardinality = 3, .items = 80, .seed = 5});
+  for (const bool sorted : {false, true}) {
+    const Packing p = binpack::next_fit_packing(inst, sorted);
+    const auto check = binpack::validate(inst, p);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_GE(p.bin_count(), binpack::packing_lower_bounds(inst).combined());
+  }
+}
+
+TEST(Packers, PairingValidForK2) {
+  const PackingInstance inst = workloads::uniform_items(
+      {.capacity = 1'000, .cardinality = 2, .items = 50, .seed = 7});
+  const Packing p = binpack::pairing_packing(inst);
+  const auto check = binpack::validate(inst, p);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_THROW(
+      (void)binpack::pairing_packing(PackingInstance{10, 3, {5}}),
+      std::invalid_argument);
+}
+
+TEST(Packers, SlidingWindowBeatsNextFitOnCardinalityTrap) {
+  // Groups of k tiny items + one big item in input order: NextFit burns a
+  // bin's cardinality on the tinies and a second bin on the big item
+  // (ratio → 2); the sorted window pairs tinies with big-item parts
+  // (ratio → k/(k−1)).
+  const PackingInstance inst = workloads::cardinality_trap_items(
+      {.capacity = 1'000'000, .cardinality = 8, .items = 50, .seed = 11});
+  const auto window = binpack::sliding_window_packing(inst).bin_count();
+  const auto nextfit = binpack::next_fit_packing(inst).bin_count();
+  const auto lb = binpack::packing_lower_bounds(inst).combined();
+  EXPECT_LT(window, nextfit);
+  // The trap drives NextFit into a 3-bins-per-2-groups pattern (~1.5·LB);
+  // the window packer stays within its 1 + 1/(k−1) guarantee.
+  EXPECT_GT(static_cast<double>(nextfit), 1.4 * static_cast<double>(lb));
+  EXPECT_LE(static_cast<double>(window),
+            binpack::sliding_window_ratio_bound(8) *
+                    static_cast<double>(lb) + 2.0);
+}
+
+TEST(Packers, HalfPlusEpsilonLandsNearHalfItemCountBins) {
+  const PackingInstance inst = workloads::half_plus_epsilon_items(
+      {.capacity = 1'000'000, .cardinality = 8, .items = 200, .seed = 11});
+  const auto window = binpack::sliding_window_packing(inst).bin_count();
+  const auto lb = binpack::packing_lower_bounds(inst).combined();
+  ASSERT_TRUE(binpack::validate(inst, binpack::sliding_window_packing(inst)).ok);
+  EXPECT_LE(window, lb + lb / 5 + 2);
+}
+
+TEST(Packers, FirstFitDecreasingValidAndCompetitive) {
+  for (std::uint64_t seed = 31; seed <= 35; ++seed) {
+    const PackingInstance inst = workloads::router_tables(
+        {.capacity = 1'000, .cardinality = 4, .items = 70, .seed = seed});
+    const Packing p = binpack::first_fit_decreasing_packing(inst);
+    const auto check = binpack::validate(inst, p);
+    ASSERT_TRUE(check.ok) << check.error;
+    const auto lb = binpack::packing_lower_bounds(inst).combined();
+    ASSERT_GE(p.bin_count(), lb);
+    EXPECT_LE(p.bin_count(), 2 * lb + 1);
+  }
+}
+
+TEST(Packers, FirstFitDecreasingSplitsOversizedItems) {
+  const PackingInstance inst{10, 2, {27, 5, 4}};
+  const Packing p = binpack::first_fit_decreasing_packing(inst);
+  ASSERT_TRUE(binpack::validate(inst, p).ok);
+  EXPECT_LE(p.bin_count(), 4u);  // 27 needs ≥3 bins; 5+4 fit in slack
+}
+
+TEST(Packers, CorollaryRatioBoundValues) {
+  EXPECT_DOUBLE_EQ(binpack::sliding_window_ratio_bound(2), 2.0);
+  EXPECT_DOUBLE_EQ(binpack::sliding_window_ratio_bound(5), 1.25);
+  EXPECT_THROW((void)binpack::sliding_window_ratio_bound(1),
+               std::invalid_argument);
+}
+
+TEST(Packers, OversizedItemsSplitAcrossManyBins) {
+  const PackingInstance inst{10, 2, {35, 4}};
+  const Packing p = binpack::sliding_window_packing(inst);
+  const auto check = binpack::validate(inst, p);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_LE(p.bin_count(), 5u);
+}
+
+using PackParam = std::tuple<int, std::uint64_t>;
+
+class TinyPackingSweep : public ::testing::TestWithParam<PackParam> {
+ protected:
+  [[nodiscard]] PackingInstance make() const {
+    const auto [k, seed] = GetParam();
+    util::Rng rng(seed);
+    PackingInstance inst;
+    inst.capacity = 6;
+    inst.cardinality = k;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 6));
+    for (std::size_t i = 0; i < n; ++i) {
+      inst.items.push_back(rng.uniform_int(1, 9));
+    }
+    return inst;
+  }
+};
+
+TEST_P(TinyPackingSweep, WindowPackerWithinCorollaryRatioOfExact) {
+  const PackingInstance inst = make();
+  const auto opt = exact::exact_bin_count(inst);
+  ASSERT_TRUE(opt.has_value());
+  const Packing p = binpack::sliding_window_packing(inst);
+  ASSERT_TRUE(binpack::validate(inst, p).ok);
+  ASSERT_GE(p.bin_count(), *opt);
+  // Corollary 3.9 is asymptotic (1 + 1/(k−1)); allow the +O(1) term as in
+  // the unit-size bound |S| ≤ m/(m−1)·OPT + 1.
+  const auto k = std::get<0>(GetParam());
+  const double bound = binpack::sliding_window_ratio_bound(k) *
+                           static_cast<double>(*opt) +
+                       1.0 + 1e-9;
+  EXPECT_LE(static_cast<double>(p.bin_count()), bound)
+      << "bins " << p.bin_count() << " vs OPT " << *opt;
+}
+
+TEST_P(TinyPackingSweep, LowerBoundsNeverExceedExact) {
+  const PackingInstance inst = make();
+  const auto opt = exact::exact_bin_count(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(binpack::packing_lower_bounds(inst).combined(), *opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TinyPackingSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u)),
+    [](const ::testing::TestParamInfo<PackParam>& param_info) {
+      return "k" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,165 @@
+// Tests for the core model types: Instance normalization, Schedule
+// bookkeeping, the validator's rejection of every violation class (V1–V5),
+// and the Eq. (1) lower bounds.
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/schedule.hpp"
+#include "core/validator.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Assignment;
+using core::Instance;
+using core::Job;
+using core::Schedule;
+
+TEST(Instance, SortsByRequirementStably) {
+  const Instance inst(2, 10, {Job{1, 5}, Job{2, 3}, Job{3, 5}, Job{1, 1}});
+  ASSERT_EQ(inst.size(), 4u);
+  EXPECT_EQ(inst.job(0).requirement, 1);
+  EXPECT_EQ(inst.job(1).requirement, 3);
+  EXPECT_EQ(inst.job(2).requirement, 5);
+  EXPECT_EQ(inst.job(3).requirement, 5);
+  // Stable: the first r=5 job (original index 0) precedes the second (2).
+  EXPECT_EQ(inst.original_id(2), 0u);
+  EXPECT_EQ(inst.original_id(3), 2u);
+  EXPECT_EQ(inst.total_size(), 7);
+  EXPECT_EQ(inst.total_requirement(), 5 + 6 + 15 + 1);
+  EXPECT_FALSE(inst.unit_size());
+}
+
+TEST(Instance, RejectsMalformedInput) {
+  EXPECT_THROW(Instance(0, 10, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, 0, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, 10, {Job{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, 10, {Job{1, 0}}), std::invalid_argument);
+}
+
+TEST(Schedule, AppendsAndMergesIdenticalBlocks) {
+  Schedule s;
+  s.append(2, {Assignment{0, 5}});
+  s.append(3, {Assignment{0, 5}});
+  EXPECT_EQ(s.makespan(), 5);
+  ASSERT_EQ(s.blocks().size(), 1u);  // merged
+  s.append(1, {Assignment{0, 2}});
+  EXPECT_EQ(s.blocks().size(), 2u);
+  EXPECT_THROW(s.append(0, {}), std::invalid_argument);
+}
+
+TEST(Schedule, CreditedAndStepIteration) {
+  Schedule s;
+  s.append(2, {Assignment{0, 5}, Assignment{1, 3}});
+  s.append(1, {Assignment{1, 4}});
+  const auto credit = s.credited(3);
+  EXPECT_EQ(credit[0], 10);
+  EXPECT_EQ(credit[1], 10);
+  EXPECT_EQ(credit[2], 0);
+  int steps = 0;
+  s.for_each_step([&](core::Time t, auto span) {
+    ++steps;
+    EXPECT_EQ(t, steps);
+    EXPECT_GE(span.size(), 1u);
+  });
+  EXPECT_EQ(steps, 3);
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  // m=2, C=10; job0: p=2,r=3 (s=6); job1: p=1,r=8 (s=8).
+  Instance inst_{2, 10, {Job{2, 3}, Job{1, 8}}};
+
+  [[nodiscard]] Schedule good() const {
+    Schedule s;
+    s.append(1, {Assignment{0, 3}, Assignment{1, 7}});
+    s.append(1, {Assignment{0, 3}, Assignment{1, 1}});
+    return s;
+  }
+};
+
+TEST_F(ValidatorTest, AcceptsFeasibleSchedule) {
+  const auto result = core::validate(inst_, good());
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_F(ValidatorTest, RejectsShareAboveRequirement) {
+  Schedule s;
+  s.append(1, {Assignment{0, 4}});  // r_0 = 3
+  EXPECT_FALSE(core::validate(inst_, s).ok);
+}
+
+TEST_F(ValidatorTest, RejectsResourceOveruse) {
+  Schedule s;
+  s.append(1, {Assignment{0, 3}, Assignment{1, 8}});  // 11 > 10
+  const auto result = core::validate(inst_, s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("overuse"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsTooManyMachines) {
+  const Instance one_machine(1, 10, {Job{1, 5}, Job{1, 5}});
+  Schedule s;
+  s.append(1, {Assignment{0, 5}, Assignment{1, 5}});
+  const auto result = core::validate(one_machine, s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("> m"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsPreemption) {
+  Schedule s;
+  s.append(1, {Assignment{0, 3}, Assignment{1, 7}});
+  s.append(1, {Assignment{1, 1}});            // job 0 pauses...
+  s.append(1, {Assignment{0, 3}});            // ...and resumes: preemption
+  const auto result = core::validate(inst_, s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("preempted"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsDuplicateJobInStep) {
+  Schedule s;
+  s.append(1, {Assignment{0, 3}, Assignment{0, 3}});
+  const auto result = core::validate(inst_, s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("twice"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsIncompleteJob) {
+  Schedule s;
+  s.append(1, {Assignment{0, 3}, Assignment{1, 7}});
+  s.append(1, {Assignment{0, 3}});  // job 1 one unit short
+  const auto result = core::validate(inst_, s);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("credited"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsZeroShareAndBadJobId) {
+  Schedule s1;
+  s1.append(1, {Assignment{0, 0}});
+  EXPECT_FALSE(core::validate(inst_, s1).ok);
+  Schedule s2;
+  s2.append(1, {Assignment{9, 1}});
+  EXPECT_FALSE(core::validate(inst_, s2).ok);
+}
+
+TEST(LowerBounds, MatchesHandComputation) {
+  // m=3, C=10. Jobs: (p=2,r=4)→s=8, (p=1,r=25)→s=25, (p=6,r=1)→s=6.
+  const Instance inst(3, 10, {Job{2, 4}, Job{1, 25}, Job{6, 1}});
+  const core::LowerBounds lb = core::lower_bounds(inst);
+  EXPECT_EQ(lb.resource, 4);      // ⌈39/10⌉
+  EXPECT_EQ(lb.volume, 3);        // ⌈9/3⌉
+  EXPECT_EQ(lb.longest_job, 6);   // job 2 needs p=6 steps; job 1 ⌈25/10⌉=3
+  EXPECT_EQ(lb.combined(), 6);
+  EXPECT_EQ(lb.resource_exact, util::Rational(39, 10));
+  EXPECT_EQ(lb.volume_exact, util::Rational(3));
+  EXPECT_EQ(lb.combined_exact(), util::Rational(6));
+}
+
+TEST(LowerBounds, EmptyInstance) {
+  const Instance inst(3, 10, {});
+  EXPECT_EQ(core::lower_bounds(inst).combined(), 0);
+}
+
+}  // namespace
+}  // namespace sharedres

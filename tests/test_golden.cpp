@@ -1,0 +1,89 @@
+// Golden regression tests: exact schedules pinned for hand-traceable
+// instances. If an engine change alters any of these, either it introduced
+// a bug or it deliberately changed the algorithm's step semantics — both
+// deserve a failing test and a conscious update.
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Assignment;
+using core::Instance;
+using core::Job;
+using core::Schedule;
+
+/// Expand a schedule into per-step (job, share) lists for readable pinning.
+std::vector<std::vector<Assignment>> steps_of(const Schedule& s) {
+  std::vector<std::vector<Assignment>> out;
+  s.for_each_step([&](core::Time, auto span) {
+    out.emplace_back(span.begin(), span.end());
+  });
+  return out;
+}
+
+TEST(Golden, WalkthroughInstanceGeneralEngine) {
+  // The paper_walkthrough example instance: m=3 (window cap 2), C=12.
+  // Sorted jobs: j0(p1,r3,s3) j1(p2,r4,s8) j2(p1,r5,s5) j3(p1,r7,s7)
+  //              j4(p2,r8,s16) j5(p1,r18,s18).
+  //
+  // Hand trace:
+  //  t1: window slides to {j2,j3} (r=12 ≥ C): heavy; j2:5 j3:7 — both done.
+  //  t2: {j1,j4} (r=12): heavy; j1:4 j4:8.
+  //  t3: same block repeats: j1 finishes (8 = s), j4 at 16−16=0 → also done.
+  //  t4: {j0,j5}: r=21 ≥ 12: heavy; j0:3 (done) j5:9 → fractured.
+  //  t5: {j5}: light (r(W∖F)=0): j5 gets min(12, 9, 18)=9 — done.
+  const Instance inst(3, 12,
+                      {Job{1, 3}, Job{2, 4}, Job{1, 5}, Job{1, 7},
+                       Job{2, 8}, Job{1, 18}});
+  const Schedule s = core::schedule_sos(inst);
+  core::validate_or_throw(inst, s);
+  const auto steps = steps_of(s);
+  ASSERT_EQ(s.makespan(), 5);
+  ASSERT_EQ(steps.size(), 5u);
+  EXPECT_EQ(steps[0], (std::vector<Assignment>{{2, 5}, {3, 7}}));
+  EXPECT_EQ(steps[1], (std::vector<Assignment>{{1, 4}, {4, 8}}));
+  EXPECT_EQ(steps[2], (std::vector<Assignment>{{1, 4}, {4, 8}}));
+  EXPECT_EQ(steps[3], (std::vector<Assignment>{{0, 3}, {5, 9}}));
+  EXPECT_EQ(steps[4], (std::vector<Assignment>{{5, 9}}));
+}
+
+TEST(Golden, CounterexampleInstanceFromWindowTests) {
+  // The Definition-3.1(e) counterexample instance (see test_window.cpp):
+  // m=4, C=10, jobs r = {2,2,2,3,9} (p: 1,1,1,1,2).
+  const Instance inst(4, 10,
+                      {Job{1, 2}, Job{1, 2}, Job{1, 2}, Job{1, 3}, Job{2, 9}});
+  const Schedule s = core::schedule_sos(inst);
+  core::validate_or_throw(inst, s);
+  const auto steps = steps_of(s);
+  ASSERT_EQ(s.makespan(), 3);
+  // t1: moved window {j2,j3,j4}: heavy; j2:2 j3:3 j4:5 (j2,j3 done).
+  EXPECT_EQ(steps[0], (std::vector<Assignment>{{2, 2}, {3, 3}, {4, 5}}));
+  // t2: {j1,j4} (grow-left stops at r=11 ≥ 10): light (r(W∖F)=2 < 10);
+  //     j1:2 done; ι=j4 gets min(10−2, 13, 9)=8 → rem 5; leftover 0.
+  EXPECT_EQ(steps[1], (std::vector<Assignment>{{1, 2}, {4, 8}}));
+  // t3: {j0,j4}: light; j0:2 done; ι=j4 gets min(8, 5, 9)=5 → done.
+  EXPECT_EQ(steps[2], (std::vector<Assignment>{{0, 2}, {4, 5}}));
+}
+
+TEST(Golden, UnitEngineSmallTrace) {
+  // m=3, C=10, unit jobs r = {5,5,5,5,5,5}: windows {5,5} fill the budget
+  // exactly, two jobs per step, three steps.
+  const Instance inst(3, 10, {Job{1, 5}, Job{1, 5}, Job{1, 5}, Job{1, 5},
+                              Job{1, 5}, Job{1, 5}});
+  const Schedule s = core::schedule_sos_unit(inst);
+  core::validate_or_throw(inst, s);
+  const auto steps = steps_of(s);
+  ASSERT_EQ(steps.size(), 3u);
+  for (const auto& step : steps) {
+    ASSERT_EQ(step.size(), 2u);
+    EXPECT_EQ(step[0].share, 5);
+    EXPECT_EQ(step[1].share, 5);
+  }
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,123 @@
+// Cross-module integration: full pipelines exercising generators, engines,
+// serialization, analysis, machine assignment and validators together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "binpack/packers.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+#include "io/text_io.hpp"
+#include "sas/sas_scheduler.hpp"
+#include "sim/analysis.hpp"
+#include "sim/assignment.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/binpack_generators.hpp"
+#include "workloads/sas_generators.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+TEST(Integration, SosPipelineGenScheduleSaveLoadValidateAssign) {
+  const core::Instance inst = workloads::bimodal_instance(
+      {.machines = 6, .capacity = 10'000, .jobs = 60, .max_size = 4,
+       .seed = 101});
+  const core::Schedule schedule = core::schedule_sos(inst);
+
+  // Serialize both and reload.
+  std::stringstream inst_buf, sched_buf;
+  io::write_instance(inst_buf, inst);
+  io::write_schedule(sched_buf, schedule);
+  const core::Instance inst2 = io::read_instance(inst_buf);
+  const core::Schedule schedule2 = io::read_schedule(sched_buf);
+
+  // The reloaded pair validates and matches the original exactly.
+  ASSERT_TRUE(core::validate(inst2, schedule2).ok);
+  EXPECT_EQ(schedule2, schedule);
+  EXPECT_EQ(inst2.jobs(), inst.jobs());
+
+  // Machine assignment succeeds within m machines and the Gantt renders.
+  const auto assignment = sim::assign_machines(inst2.size(), schedule2);
+  EXPECT_LE(assignment.machines_used, inst2.machines());
+  EXPECT_FALSE(sim::render_gantt(inst2.size(), schedule2).empty());
+}
+
+TEST(Integration, AnalysisAgreesWithObserverMetrics) {
+  const core::Instance inst = workloads::uniform_instance(
+      {.machines = 5, .capacity = 7'000, .jobs = 50, .max_size = 3,
+       .seed = 103});
+  sim::MetricsCollector metrics(static_cast<std::size_t>(inst.machines() - 1),
+                                inst.capacity());
+  const core::Schedule schedule =
+      core::schedule_sos(inst, {.observer = &metrics});
+  const sim::ScheduleStats stats = sim::analyze(inst, schedule);
+
+  EXPECT_EQ(stats.makespan, metrics.steps());
+  EXPECT_EQ(stats.full_resource_steps, metrics.full_resource_steps());
+  EXPECT_NEAR(stats.mean_utilization, metrics.mean_utilization(), 1e-12);
+  EXPECT_LE(stats.max_concurrency,
+            static_cast<std::size_t>(inst.machines()));
+  EXPECT_FALSE(sim::to_string(stats).empty());
+}
+
+TEST(Integration, PackingReductionIdentity) {
+  // The window packer's bin count must equal the unit scheduler's makespan
+  // on the reduced instance — they are the same computation.
+  const binpack::PackingInstance pack = workloads::router_tables(
+      {.capacity = 5'000, .cardinality = 5, .items = 80, .seed = 105});
+  const std::size_t bins = binpack::sliding_window_packing(pack).bin_count();
+
+  std::vector<core::Job> jobs;
+  for (const core::Res w : pack.items) jobs.push_back(core::Job{1, w});
+  const core::Instance sos(pack.cardinality, pack.capacity, std::move(jobs));
+  EXPECT_EQ(static_cast<core::Time>(bins),
+            core::schedule_sos_unit(sos).makespan());
+}
+
+TEST(Integration, PackingPipelineWithSerialization) {
+  const binpack::PackingInstance inst = workloads::uniform_items(
+      {.capacity = 3'000, .cardinality = 3, .items = 40, .seed = 107});
+  const binpack::Packing packing = binpack::next_fit_packing(inst);
+
+  std::stringstream buf;
+  io::write_packing(buf, packing);
+  const binpack::Packing back = io::read_packing(buf);
+  ASSERT_EQ(back.bin_count(), packing.bin_count());
+  const auto check = binpack::validate(inst, back);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Integration, SasPipelineWithSerialization) {
+  const sas::SasInstance inst = workloads::mixed_task_set(
+      {.machines = 8, .capacity = 8'000, .tasks = 16, .min_jobs = 1,
+       .max_jobs = 9, .seed = 109});
+  std::stringstream buf;
+  io::write_sas(buf, inst);
+  const sas::SasInstance back = io::read_sas(buf);
+  const sas::SasResult result = sas::schedule_sas(back);
+  const auto check = sas::validate(back, result);
+  ASSERT_TRUE(check.ok) << check.error;
+}
+
+TEST(Integration, AllSchedulersAgreeOnTotalWorkDelivered) {
+  // Every scheduler must deliver exactly Σ s_j resource units in total —
+  // the conservation law behind the Eq. (1) bound.
+  const core::Instance inst = workloads::oversized_instance(
+      {.machines = 4, .capacity = 2'000, .jobs = 30, .max_size = 3,
+       .seed = 111});
+  const core::Res expected = inst.total_requirement();
+  for (const core::Schedule& s :
+       {core::schedule_sos(inst),
+        core::schedule_sos(inst, {.fast_forward = false})}) {
+    core::Res delivered = 0;
+    for (const core::Res credit : s.credited(inst.size())) {
+      delivered += credit;
+    }
+    EXPECT_EQ(delivered, expected);
+  }
+}
+
+}  // namespace
+}  // namespace sharedres

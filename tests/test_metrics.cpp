@@ -1,0 +1,69 @@
+// Tests of the sim::MetricsCollector instrumentation (experiment E7).
+#include <gtest/gtest.h>
+
+#include "core/sos_scheduler.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+TEST(Metrics, StepAccountingConsistent) {
+  const auto inst = workloads::uniform_instance(
+      {.machines = 6, .capacity = 5'000, .jobs = 80, .max_size = 3,
+       .seed = 21});
+  sim::MetricsCollector metrics(static_cast<std::size_t>(inst.machines() - 1),
+                                inst.capacity());
+  const auto s = core::schedule_sos(inst, {.observer = &metrics});
+  EXPECT_EQ(metrics.steps(), s.makespan());
+  EXPECT_EQ(metrics.heavy_steps() + metrics.light_steps(), metrics.steps());
+  EXPECT_EQ(metrics.dichotomy_violations(), 0);
+  EXPECT_EQ(metrics.border_violations(), 0);
+  EXPECT_GT(metrics.mean_utilization(), 0.0);
+  EXPECT_LE(metrics.mean_utilization(), 1.0 + 1e-12);
+  // Heavy steps use the whole budget.
+  EXPECT_LE(metrics.heavy_steps(), metrics.full_resource_steps());
+}
+
+TEST(Metrics, TLeftAndTRightDetected) {
+  // A small instance ends with a shrinking window, so T_L is always set by
+  // the final steps; T_R fires once the last jobs cannot fill the resource.
+  const auto inst = workloads::bimodal_instance(
+      {.machines = 5, .capacity = 4'000, .jobs = 40, .max_size = 2,
+       .seed = 23});
+  sim::MetricsCollector metrics(static_cast<std::size_t>(inst.machines() - 1),
+                                inst.capacity());
+  (void)core::schedule_sos(inst, {.observer = &metrics});
+  EXPECT_GT(metrics.t_left(), 0);
+  EXPECT_GT(metrics.t_right(), 0);
+  EXPECT_LE(metrics.t_left(), metrics.steps());
+  EXPECT_LE(metrics.t_right(), metrics.steps());
+}
+
+TEST(Metrics, FullUtilizationUntilTRight) {
+  // Before T_R every step has r(W_t) ≥ C and therefore uses the full
+  // resource — the Case-2 half of Theorem 3.3's accounting.
+  const auto inst = workloads::pareto_instance(
+      {.machines = 4, .capacity = 3'000, .jobs = 60, .max_size = 2,
+       .seed = 29});
+  class UntilTRight final : public core::StepObserver {
+   public:
+    explicit UntilTRight(core::Res budget) : budget_(budget) {}
+    void on_step(const core::StepInfo& info) override {
+      if (t_right_ == 0 && info.window_requirement < budget_) {
+        t_right_ = info.first_step;
+      }
+      if (t_right_ == 0 && info.resource_used != budget_) ++violations_;
+    }
+    core::Time t_right_ = 0;
+    int violations_ = 0;
+
+   private:
+    core::Res budget_;
+  } obs(inst.capacity());
+  (void)core::schedule_sos(inst, {.observer = &obs});
+  EXPECT_EQ(obs.violations_, 0);
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,176 @@
+// Online-arrivals extension: validator, both online schedulers, lower
+// bounds, and the clairvoyant comparison.
+#include <gtest/gtest.h>
+
+#include "core/sos_scheduler.hpp"
+#include "online/online_model.hpp"
+#include "online/online_scheduler.hpp"
+#include "util/prng.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Job;
+using core::Res;
+using core::Time;
+using online::OnlineInstance;
+using online::OnlineJob;
+
+OnlineInstance hand_instance() {
+  OnlineInstance inst;
+  inst.machines = 2;
+  inst.capacity = 10;
+  inst.jobs = {
+      OnlineJob{1, Job{2, 6}},   // released at start
+      OnlineJob{1, Job{1, 4}},
+      OnlineJob{4, Job{1, 10}},  // arrives later
+  };
+  return inst;
+}
+
+TEST(Online, GreedyValidAndRespectsReleases) {
+  const OnlineInstance inst = hand_instance();
+  const core::Schedule s = online::schedule_online_greedy(inst);
+  const auto check = online::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GE(s.makespan(), online::online_lower_bound(inst));
+}
+
+TEST(Online, ReservationValidAndRespectsReleases) {
+  const OnlineInstance inst = hand_instance();
+  const core::Schedule s = online::schedule_online_reservation(inst);
+  const auto check = online::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+}
+
+TEST(Online, ValidatorRejectsEarlyStart) {
+  const OnlineInstance inst = hand_instance();
+  // Core-feasible (all jobs exactly completed) but job 2 runs at t=1
+  // although it is released at t=4.
+  core::Schedule bad;
+  bad.append(1, {core::Assignment{2, 10}});
+  bad.append(1, {core::Assignment{0, 6}, core::Assignment{1, 4}});
+  bad.append(1, {core::Assignment{0, 6}});
+  const auto check = online::validate(inst, bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("release"), std::string::npos);
+}
+
+TEST(Online, LowerBoundHandCase) {
+  // Job 2: release 4, s = 10, intake 10 → finishes ≥ step 4.
+  // Resource: Σs = 12+4+10 = 26 → ≥ 3. Volume: 4 jobs... Σp = 4, m=2 → 2.
+  EXPECT_EQ(online::online_lower_bound(hand_instance()), 4);
+}
+
+TEST(Online, IdleGapsHandledCorrectly) {
+  OnlineInstance inst;
+  inst.machines = 2;
+  inst.capacity = 10;
+  inst.jobs = {
+      OnlineJob{1, Job{1, 5}},
+      OnlineJob{10, Job{1, 5}},  // long idle gap before this one
+  };
+  for (const auto& schedule : {online::schedule_online_greedy(inst),
+                               online::schedule_online_reservation(inst)}) {
+    const auto check = online::validate(inst, schedule);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(schedule.makespan(), 10);  // 1 step + 8 idle + 1 step
+  }
+}
+
+TEST(Online, AllReleasedAtOnceMatchesOfflineRegime) {
+  // With every release at step 1 the greedy is just an offline heuristic;
+  // it must land between the offline lower bound and a constant factor of
+  // the offline window schedule.
+  workloads::SosConfig cfg;
+  cfg.machines = 6;
+  cfg.capacity = 10'000;
+  cfg.jobs = 60;
+  cfg.max_size = 3;
+  cfg.seed = 17;
+  online::OnlineInstance inst =
+      workloads::online_arrivals("uniform", cfg, 1'000'000, 1);
+  for (auto& oj : inst.jobs) oj.release = 1;
+  const Time greedy = online::schedule_online_greedy(inst).makespan();
+  const Time offline =
+      core::schedule_sos(inst.clairvoyant()).makespan();
+  EXPECT_GE(greedy, offline / 3);
+  EXPECT_LE(greedy, 3 * offline + 3);
+}
+
+TEST(Online, GeneratorSweepBothSchedulersValid) {
+  for (const std::string& family : workloads::instance_families()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      workloads::SosConfig cfg;
+      cfg.machines = 5;
+      cfg.capacity = 5'000;
+      cfg.jobs = 50;
+      cfg.max_size = 3;
+      cfg.seed = seed;
+      const OnlineInstance inst =
+          workloads::online_arrivals(family, cfg, 6, 3);
+      const core::Schedule greedy = online::schedule_online_greedy(inst);
+      const core::Schedule reservation =
+          online::schedule_online_reservation(inst);
+      const auto c1 = online::validate(inst, greedy);
+      ASSERT_TRUE(c1.ok) << family << "/" << seed << ": " << c1.error;
+      const auto c2 = online::validate(inst, reservation);
+      ASSERT_TRUE(c2.ok) << family << "/" << seed << ": " << c2.error;
+      const Time lb = online::online_lower_bound(inst);
+      ASSERT_GE(greedy.makespan(), lb);
+      ASSERT_GE(reservation.makespan(), lb);
+    }
+  }
+}
+
+TEST(Online, FuzzTinyCapacitiesAndWeirdShapes) {
+  // Tiny capacities make the sustain-reservation logic earn its keep: with
+  // C < m the scheduler must refuse to open more jobs than it can feed.
+  util::Rng rng(606);
+  for (int trial = 0; trial < 200; ++trial) {
+    OnlineInstance inst;
+    inst.machines = static_cast<int>(rng.uniform_int(1, 6));
+    inst.capacity = rng.uniform_int(1, 8);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    Time release = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      release += rng.uniform_int(0, 3);
+      inst.jobs.push_back(OnlineJob{
+          release, Job{rng.uniform_int(1, 3),
+                       rng.uniform_int(1, inst.capacity * 2)}});
+    }
+    const core::Schedule greedy = online::schedule_online_greedy(inst);
+    const auto c1 = online::validate(inst, greedy);
+    ASSERT_TRUE(c1.ok) << "trial " << trial << ": " << c1.error;
+    const core::Schedule reservation =
+        online::schedule_online_reservation(inst);
+    const auto c2 = online::validate(inst, reservation);
+    ASSERT_TRUE(c2.ok) << "trial " << trial << ": " << c2.error;
+    if (!inst.jobs.empty()) {
+      ASSERT_GE(greedy.makespan(), online::online_lower_bound(inst));
+    }
+  }
+}
+
+TEST(Online, GeneratorDeterministicAndOrdered) {
+  workloads::SosConfig cfg;
+  cfg.machines = 4;
+  cfg.capacity = 1'000;
+  cfg.jobs = 40;
+  cfg.max_size = 2;
+  cfg.seed = 23;
+  const auto a = workloads::online_arrivals("pareto", cfg, 5, 2);
+  const auto b = workloads::online_arrivals("pareto", cfg, 5, 2);
+  ASSERT_EQ(a.size(), b.size());
+  Time last = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].release, b.jobs[j].release);
+    EXPECT_EQ(a.jobs[j].job, b.jobs[j].job);
+    EXPECT_GE(a.jobs[j].release, last);  // non-decreasing releases
+    last = a.jobs[j].release;
+  }
+}
+
+}  // namespace
+}  // namespace sharedres

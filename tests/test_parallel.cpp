@@ -1,0 +1,59 @@
+// util::parallel_for / parallel_map: completeness, determinism of collected
+// results, exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/parallel.hpp"
+
+namespace sharedres::util {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  const auto squares = parallel_map<std::size_t>(
+      1'000, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    ASSERT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(Parallel, MatchesSerialResult) {
+  const auto parallel = parallel_map<int>(
+      512, [](std::size_t i) { return static_cast<int>(i % 7); }, 8);
+  const auto serial = parallel_map<int>(
+      512, [](std::size_t i) { return static_cast<int>(i % 7); }, 1);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, HandlesEdgeCases) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(default_threads(), 1u);
+  EXPECT_LE(default_threads(4), 4u);
+}
+
+}  // namespace
+}  // namespace sharedres::util

@@ -1,0 +1,89 @@
+// The paper's real-sizes remark (below Eq. (1)): rescaling p_j ∈ ℝ to
+// integers preserves total requirements and lower bounds exactly.
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/rescale.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::RealJob;
+using core::Res;
+using util::Rational;
+
+TEST(Rescale, IntegerSizesPassThroughUnchanged) {
+  const std::vector<RealJob> jobs = {{Rational(3), 7}, {Rational(1), 12}};
+  Res scale = 0;
+  const core::Instance inst = core::rescale_real_sizes(2, 10, jobs, &scale);
+  EXPECT_EQ(scale, 1);
+  EXPECT_EQ(inst.capacity(), 10);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst.job(0).size, 3);
+  EXPECT_EQ(inst.job(0).requirement, 7);
+  EXPECT_EQ(inst.job(1).requirement, 12);
+}
+
+TEST(Rescale, PreservesTotalRequirementExactly) {
+  // p = 7/2, r = 6: s = 21. p' = 4, r' = 21/4 → scale 4: r'' = 21, C' = 40.
+  const std::vector<RealJob> jobs = {{Rational(7, 2), 6}};
+  Res scale = 0;
+  const core::Instance inst = core::rescale_real_sizes(3, 10, jobs, &scale);
+  EXPECT_EQ(scale, 4);
+  EXPECT_EQ(inst.capacity(), 40);
+  EXPECT_EQ(inst.job(0).size, 4);
+  EXPECT_EQ(inst.job(0).requirement, 21);
+  // s as a fraction of capacity is unchanged: 84/40 = 21/10.
+  EXPECT_EQ(Rational(inst.job(0).total_requirement(), inst.capacity()),
+            Rational(21, 10));
+}
+
+TEST(Rescale, MixedDenominatorsShareOneScale) {
+  const std::vector<RealJob> jobs = {
+      {Rational(7, 2), 6},   // r' = 21/4
+      {Rational(5, 3), 9},   // p' = 2, r' = 15/2
+      {Rational(2), 5},      // integral already
+  };
+  Res scale = 0;
+  const core::Instance inst = core::rescale_real_sizes(4, 100, jobs, &scale);
+  EXPECT_EQ(scale, 4);  // lcm(4, 2, 1)
+  // Every requirement integral, totals preserved as capacity fractions.
+  const Rational s1 = Rational(7, 2) * Rational(6);
+  EXPECT_EQ(Rational(inst.jobs()[0].total_requirement() +
+                         inst.jobs()[1].total_requirement() +
+                         inst.jobs()[2].total_requirement(),
+                     inst.capacity()),
+            (s1 + Rational(5, 3) * Rational(9) + Rational(10)) /
+                Rational(100));
+}
+
+TEST(Rescale, RescaledInstanceSchedulesWithinTheoremRatio) {
+  const std::vector<RealJob> jobs = {
+      {Rational(7, 2), 6}, {Rational(5, 3), 9}, {Rational(13, 4), 3},
+      {Rational(1, 2), 20}, {Rational(9, 5), 11},
+  };
+  const core::Instance inst = core::rescale_real_sizes(4, 30, jobs);
+  const core::Schedule s = core::schedule_sos(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+  const auto lb = core::lower_bounds(inst);
+  EXPECT_LE(Rational(s.makespan()),
+            core::sos_ratio_bound(4) * lb.combined_exact());
+}
+
+TEST(Rescale, RejectsBadInput) {
+  EXPECT_THROW(
+      (void)core::rescale_real_sizes(2, 10, {{Rational(0), 5}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)core::rescale_real_sizes(2, 10, {{Rational(-1, 2), 5}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)core::rescale_real_sizes(2, 10, {{Rational(1), 0}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,123 @@
+// Parameterized property sweeps for the Listing-1 scheduler (Theorem 3.3).
+//
+// For every (family × machines × seed) combination we assert, on the full
+// schedule:
+//   P1  feasibility (core::validate);
+//   P2  stepwise == fast-forward;
+//   P3  the ratio of Theorem 3.3 against the exact rational lower bound
+//       (the proof derives |S| ≤ (2+1/(m−2))·max{Σs/C, Σp/m, ⌈p⌉}, so this
+//       is exactly what the theorem guarantees, not a loose proxy);
+//   P4  k-maximal windows and the per-step dichotomy on every step, via the
+//       independent Definition-3.1 checker.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/lower_bounds.hpp"
+#include "core/sos_engine.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+#include "core/window.hpp"
+#include "sim/metrics.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Instance;
+using core::Time;
+using util::Rational;
+
+using Param = std::tuple<std::string, int, std::uint64_t>;
+
+class SosPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] Instance make() const {
+    const auto& [family, m, seed] = GetParam();
+    workloads::SosConfig cfg;
+    cfg.machines = m;
+    cfg.capacity = 10'000;
+    cfg.jobs = 60;
+    cfg.max_size = 4;
+    cfg.seed = seed;
+    return workloads::make_instance(family, cfg);
+  }
+};
+
+TEST_P(SosPropertyTest, ScheduleIsFeasible) {
+  const Instance inst = make();
+  const core::Schedule s = core::schedule_sos(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(SosPropertyTest, FastForwardMatchesStepwise) {
+  const Instance inst = make();
+  EXPECT_EQ(core::schedule_sos(inst, {.fast_forward = true}),
+            core::schedule_sos(inst, {.fast_forward = false}));
+}
+
+TEST_P(SosPropertyTest, MakespanWithinTheorem33Ratio) {
+  const Instance inst = make();
+  const int m = inst.machines();
+  const core::Schedule s = core::schedule_sos(inst);
+  const core::LowerBounds lb = core::lower_bounds(inst);
+  EXPECT_GE(s.makespan(), lb.combined());
+  // |S| ≤ (2 + 1/(m−2)) · LB, compared exactly in rationals.
+  const Rational bound = core::sos_ratio_bound(m) * lb.combined_exact();
+  EXPECT_LE(Rational(s.makespan()), bound)
+      << "makespan " << s.makespan() << " vs bound " << bound.to_double()
+      << " (LB=" << lb.combined() << ")";
+}
+
+TEST_P(SosPropertyTest, WindowsMaximalAndDichotomyHolds) {
+  const Instance inst = make();
+  const auto cap = static_cast<std::size_t>(inst.machines() - 1);
+  core::SosEngine engine(
+      inst,
+      {.window_cap = cap, .budget = inst.capacity(), .allow_extra_job = true});
+  while (!engine.done()) {
+    engine.prepare_step();
+    const auto window_check = core::check_k_maximal(engine.snapshot());
+    ASSERT_TRUE(window_check.ok) << window_check.violation;
+    const core::PlannedStep plan = engine.plan();
+    core::Res used = 0;
+    std::size_t full = 0;
+    for (const core::Assignment& a : plan.shares) {
+      used += a.share;
+      if (a.share == inst.job(a.job).requirement) ++full;
+    }
+    if (plan.step_case == core::StepCase::kHeavy) {
+      ASSERT_EQ(used, inst.capacity());
+    } else {
+      ASSERT_GE(full + 1, engine.window_size());
+    }
+    engine.apply(plan, 1);
+  }
+}
+
+TEST_P(SosPropertyTest, MetricsObserverSeesNoViolations) {
+  const Instance inst = make();
+  const auto cap = static_cast<std::size_t>(inst.machines() - 1);
+  sim::MetricsCollector metrics(cap, inst.capacity());
+  const core::Schedule s =
+      core::schedule_sos(inst, {.fast_forward = true, .observer = &metrics});
+  EXPECT_EQ(metrics.steps(), s.makespan());
+  EXPECT_EQ(metrics.dichotomy_violations(), 0);
+  EXPECT_EQ(metrics.border_violations(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SosPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(workloads::instance_families()),
+                       ::testing::Values(3, 4, 5, 8, 16),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::get<0>(param_info.param) + "_m" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,46 @@
+// SVG rendering: structural sanity of the generated document.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/sos_scheduler.hpp"
+#include "sim/svg.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+TEST(Svg, ContainsAllJobsAndUtilizationStrip) {
+  const core::Instance inst = workloads::bimodal_instance(
+      {.machines = 4, .capacity = 1'000, .jobs = 15, .max_size = 3,
+       .seed = 41});
+  const core::Schedule s = core::schedule_sos(inst);
+  const std::string svg = sim::render_svg(inst, s);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    EXPECT_NE(svg.find("job " + std::to_string(j) + ":"), std::string::npos)
+        << "job " << j << " missing from the SVG";
+  }
+  EXPECT_NE(svg.find("% used"), std::string::npos);
+  // Lanes never exceed m.
+  EXPECT_EQ(svg.find("M" + std::to_string(inst.machines())),
+            std::string::npos);
+}
+
+TEST(Svg, SavesToFile) {
+  const core::Instance inst(2, 10, {core::Job{1, 5}, core::Job{2, 7}});
+  const core::Schedule s = core::schedule_sos(inst);
+  const std::string path = ::testing::TempDir() + "/sharedres_test.svg";
+  sim::save_svg(path, inst, s);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  EXPECT_THROW(sim::save_svg("/nonexistent/x.svg", inst, s),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sharedres

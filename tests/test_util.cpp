@@ -1,0 +1,233 @@
+// Unit tests for the util substrate: checked arithmetic, rationals, PRNG,
+// statistics, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "util/checked.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/rational.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sharedres::util {
+namespace {
+
+TEST(Checked, MulDetectsOverflow) {
+  EXPECT_EQ(mul_checked(1'000'000, 1'000'000), 1'000'000'000'000LL);
+  EXPECT_EQ(mul_checked(-3, 7), -21);
+  EXPECT_THROW((void)mul_checked(std::numeric_limits<i64>::max(), 2),
+               OverflowError);
+  EXPECT_THROW((void)mul_checked(std::numeric_limits<i64>::min(), -1),
+               OverflowError);
+}
+
+TEST(Checked, AddDetectsOverflow) {
+  EXPECT_EQ(add_checked(5, -9), -4);
+  EXPECT_THROW((void)add_checked(std::numeric_limits<i64>::max(), 1),
+               OverflowError);
+}
+
+TEST(Checked, CeilAndFloorDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(floor_div(10, 3), 3);
+}
+
+TEST(Checked, Lcm) {
+  EXPECT_EQ(lcm_checked(4, 6), 12);
+  EXPECT_EQ(lcm_checked(7, 13), 91);
+  EXPECT_EQ(lcm_checked(0, 5), 0);
+}
+
+TEST(Rational, NormalizationAndEquality) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(3, 4) * Rational(2, 9), Rational(1, 6));
+  EXPECT_EQ(Rational(3, 4) / Rational(9, 2), Rational(1, 6));
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), std::invalid_argument);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, CeilFloor) {
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(5, 3).to_string(), "5/3");
+  EXPECT_EQ(Rational(6, 3).to_string(), "2");
+}
+
+TEST(Rational, CrossCancelAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) = 1 without overflowing intermediates.
+  const i64 big = i64{1} << 40;
+  EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.bits() == b.bits());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 100'000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 9'000);
+    EXPECT_LT(count, 11'000);
+  }
+}
+
+TEST(Prng, Uniform01InRange) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, ParetoWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.pareto(1.2, 0.5, 8.0);
+    ASSERT_GE(v, 0.5 - 1e-12);
+    ASSERT_LE(v, 8.0 + 1e-12);
+  }
+}
+
+TEST(Prng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(5), parent2(5);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.bits(), child2.bits());
+  Rng parent3(5);
+  Rng c1 = parent3.split();
+  Rng c2 = parent3.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1.bits() == c2.bits());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+}
+
+TEST(Stats, SummaryErrorsOnEmpty) {
+  const Summary s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, OnlineMatchesSummary) {
+  Summary s;
+  OnlineStats o;
+  Rng rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.uniform_real(-3, 9);
+    s.add(x);
+    o.add(x);
+  }
+  EXPECT_NEAR(s.mean(), o.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), o.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), o.min());
+  EXPECT_DOUBLE_EQ(s.max(), o.max());
+}
+
+TEST(Table, PrintsAlignedAndCsvEscapes) {
+  Table t({"name", "value"});
+  t.add("alpha", 42);
+  t.add("has,comma", 3.5);
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--m=8", "--verbose", "positional",
+                        "--ratio=1.5"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("m", 0), 8);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 1.5);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positionals().size(), 1u);
+  EXPECT_EQ(cli.positionals()[0], "positional");
+  EXPECT_TRUE(cli.unused_keys().empty());
+}
+
+TEST(Cli, ReportsUnusedKeysAndBadNumbers) {
+  const char* argv[] = {"prog", "--typo=1", "--n=abc"};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+  const auto unused = cli.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace sharedres::util

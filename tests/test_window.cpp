@@ -1,0 +1,121 @@
+// Tests of the Definition-3.1 window checker, including the documented
+// deviation between the paper's property (e) and what Listing 2 guarantees.
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/sos_engine.hpp"
+#include "core/window.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Instance;
+using core::Job;
+using core::Res;
+using core::WindowSnapshot;
+
+WindowSnapshot snapshot_of(const Instance& inst, std::vector<Res> remaining,
+                           std::vector<core::JobId> window, std::size_t k) {
+  WindowSnapshot snap;
+  snap.instance = &inst;
+  snap.remaining = std::move(remaining);
+  snap.window = std::move(window);
+  snap.k = k;
+  snap.budget = inst.capacity();
+  return snap;
+}
+
+TEST(WindowChecker, AcceptsValidWindow) {
+  const Instance inst(4, 10, {Job{1, 2}, Job{1, 3}, Job{1, 4}, Job{1, 9}});
+  const auto snap = snapshot_of(inst, {2, 3, 4, 9}, {0, 1, 2}, 3);
+  EXPECT_TRUE(core::check_window(snap).ok);
+  // r(W) = 9 < 10 and job 3 remains to the right → (f) fails.
+  EXPECT_FALSE(core::check_k_maximal(snap).ok);
+  // Adding job 3 restores maximality? No: size would be 4 > k = 3. But the
+  // window {1,2,3} (moved right) is maximal: r = 16 ≥ 10.
+  const auto moved = snapshot_of(inst, {2, 3, 4, 9}, {1, 2, 3}, 3);
+  EXPECT_TRUE(core::check_k_maximal(moved).ok)
+      << core::check_k_maximal(moved).violation;
+}
+
+TEST(WindowChecker, RejectsConvexityViolation) {
+  const Instance inst(4, 10, {Job{1, 2}, Job{1, 3}, Job{1, 4}});
+  const auto snap = snapshot_of(inst, {2, 3, 4}, {0, 2}, 3);  // hole at 1
+  const auto result = core::check_window(snap);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("(a)"), std::string::npos);
+}
+
+TEST(WindowChecker, RejectsOverfullPrefix) {
+  const Instance inst(4, 10, {Job{1, 6}, Job{1, 7}, Job{1, 8}});
+  const auto snap = snapshot_of(inst, {6, 7, 8}, {0, 1, 2}, 3);
+  const auto result = core::check_window(snap);  // r(W∖{max}) = 13 ≥ 10
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("(b)"), std::string::npos);
+}
+
+TEST(WindowChecker, RejectsTwoFracturedJobs) {
+  const Instance inst(4, 10, {Job{2, 4}, Job{2, 4}});
+  // Both jobs have s = 8; remaining 3 and 5 are not multiples of 4.
+  const auto snap = snapshot_of(inst, {3, 5}, {0, 1}, 3);
+  const auto result = core::check_window(snap);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("(c)"), std::string::npos);
+}
+
+TEST(WindowChecker, RejectsStartedJobOutsideWindow) {
+  const Instance inst(4, 10, {Job{1, 2}, Job{1, 3}, Job{1, 4}});
+  const auto snap = snapshot_of(inst, {2, 1, 4}, {2}, 1);  // job 1 started
+  const auto result = core::check_window(snap);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("(d)"), std::string::npos);
+}
+
+TEST(WindowChecker, FracturedPredicate) {
+  const Instance inst(2, 10, {Job{3, 4}});
+  EXPECT_FALSE(core::is_fractured(inst, 0, 12));  // untouched (3·4)
+  EXPECT_FALSE(core::is_fractured(inst, 0, 8));   // whole units left
+  EXPECT_TRUE(core::is_fractured(inst, 0, 7));
+  EXPECT_FALSE(core::is_fractured(inst, 0, 0));   // finished
+}
+
+TEST(WindowChecker, EmptyWindowIsMaximalOnlyWhenNoJobsRemain) {
+  const Instance inst(4, 10, {Job{1, 2}});
+  const auto with_jobs = snapshot_of(inst, {2}, {}, 3);
+  EXPECT_FALSE(core::check_k_maximal(with_jobs).ok);
+  const auto all_done = snapshot_of(inst, {0}, {}, 3);
+  EXPECT_TRUE(core::check_k_maximal(all_done).ok);
+}
+
+// REPRODUCTION NOTE (see DESIGN.md §4): the paper's property (e) demands
+// |W| < k ⇒ L_t(W) = ∅, but GrowWindowLeft (Listing 2) stops at r(W) ≥ R.
+// This instance drives the published algorithm into a state with |W| < k,
+// L_t(W) ≠ ∅ and r(W) ≥ R — contradicting Claim 3.6 as printed. The weaker
+// invariant (e′) tested by check_k_maximal still holds, and Theorem 3.3's
+// conclusion is unaffected (such steps use the full resource).
+TEST(WindowChecker, PaperDefinitionEIsViolatedByTheListing) {
+  // m = 4 (k = 3), C = 10. Sorted requirements: 2, 2, 2, 3, 9.
+  const Instance inst(4, 10,
+                      {Job{1, 2}, Job{1, 2}, Job{1, 2}, Job{1, 3}, Job{2, 9}});
+  core::SosEngine engine(
+      inst, {.window_cap = 3, .budget = 10, .allow_extra_job = true});
+
+  // Step 1: MoveWindowRight slides to {2,3,4} (r = 14 ≥ 10); jobs 2 and 3
+  // finish, job 4 is served 5 units (s = 18 → 13 remaining).
+  engine.prepare_step();
+  EXPECT_EQ(engine.window_members(), (std::vector<core::JobId>{2, 3, 4}));
+  engine.apply(engine.plan(), 1);
+  EXPECT_EQ(engine.remaining(4), 13);
+
+  // Step 2: the window refills from the left but stops at r(W) = 11 ≥ 10
+  // with job 0 still unfinished on its left: |W| = 2 < 3 and L ≠ ∅.
+  engine.prepare_step();
+  EXPECT_EQ(engine.window_members(), (std::vector<core::JobId>{1, 4}));
+  EXPECT_FALSE(engine.window_left_border());
+  EXPECT_LT(engine.window_size(), 3u);
+  EXPECT_GE(engine.window_requirement(), 10);
+  EXPECT_TRUE(core::check_k_maximal(engine.snapshot()).ok);
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,111 @@
+// Generator determinism and parameter-respect tests.
+#include <gtest/gtest.h>
+
+#include "workloads/binpack_generators.hpp"
+#include "workloads/sas_generators.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Res;
+
+TEST(SosGenerators, DeterministicPerSeed) {
+  const workloads::SosConfig cfg{.machines = 5, .capacity = 1'000, .jobs = 40,
+                                 .max_size = 4, .seed = 77};
+  for (const std::string& family : workloads::instance_families()) {
+    const auto a = workloads::make_instance(family, cfg);
+    const auto b = workloads::make_instance(family, cfg);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.jobs(), b.jobs()) << family;
+    auto cfg2 = cfg;
+    cfg2.seed = 78;
+    const auto c = workloads::make_instance(family, cfg2);
+    EXPECT_NE(a.jobs(), c.jobs()) << family << " ignores the seed";
+  }
+}
+
+TEST(SosGenerators, RespectsRanges) {
+  const workloads::SosConfig cfg{.machines = 4, .capacity = 10'000,
+                                 .jobs = 200, .max_size = 5, .seed = 1};
+  const auto inst = workloads::uniform_instance(cfg, 0.1, 0.3);
+  for (const auto& job : inst.jobs()) {
+    EXPECT_GE(job.size, 1);
+    EXPECT_LE(job.size, 5);
+    EXPECT_GE(job.requirement, 1'000);
+    EXPECT_LE(job.requirement, 3'000);
+  }
+}
+
+TEST(SosGenerators, OversizedProducesAboveCapacityJobs) {
+  const auto inst = workloads::oversized_instance(
+      {.machines = 4, .capacity = 1'000, .jobs = 100, .max_size = 1,
+       .seed = 5},
+      0.3, 2.5);
+  int over = 0;
+  for (const auto& job : inst.jobs()) over += job.requirement > 1'000;
+  EXPECT_GT(over, 10);
+  EXPECT_LT(over, 60);
+}
+
+TEST(SosGenerators, NearBoundarySitsJustAboveTheThreshold) {
+  const auto inst = workloads::near_boundary_instance(
+      {.machines = 6, .capacity = 100'000, .jobs = 50, .max_size = 1,
+       .seed = 8},
+      0.05);
+  const Res threshold = 100'000 / 5;  // C/(m−1)
+  for (const auto& job : inst.jobs()) {
+    EXPECT_GE(job.requirement, threshold);
+    EXPECT_LE(job.requirement, threshold + threshold / 15);
+  }
+}
+
+TEST(SosGenerators, UnknownFamilyThrows) {
+  EXPECT_THROW((void)workloads::make_instance("nope", {}),
+               std::invalid_argument);
+}
+
+TEST(SosGenerators, TinyGridStaysTiny) {
+  const auto inst = workloads::tiny_grid_instance(3, 5, 6, 2, 4);
+  EXPECT_EQ(inst.capacity(), 6);
+  EXPECT_EQ(inst.size(), 5u);
+  for (const auto& job : inst.jobs()) {
+    EXPECT_LE(job.requirement, 9);
+    EXPECT_LE(job.size, 2);
+  }
+}
+
+TEST(SasGenerators, ClassesMatchIntent) {
+  const workloads::SasConfig cfg{.machines = 8, .capacity = 10'000,
+                                 .tasks = 30, .min_jobs = 2, .max_jobs = 10,
+                                 .seed = 3};
+  const auto heavy = workloads::heavy_task_set(cfg);
+  for (const auto& task : heavy.tasks) {
+    // avg requirement > C/(m−1)
+    EXPECT_GT(task.total_requirement() * (cfg.machines - 1),
+              static_cast<Res>(task.size()) * cfg.capacity);
+  }
+  const auto light = workloads::light_task_set(cfg);
+  for (const auto& task : light.tasks) {
+    EXPECT_LE(task.total_requirement() * (cfg.machines - 1),
+              static_cast<Res>(task.size()) * cfg.capacity);
+  }
+  const auto mixed = workloads::mixed_task_set(cfg);
+  mixed.validate_input();
+  EXPECT_EQ(mixed.tasks.size(), 30u);
+}
+
+TEST(BinpackGenerators, DeterministicAndSized) {
+  const workloads::PackConfig cfg{.capacity = 1'000, .cardinality = 4,
+                                  .items = 64, .seed = 10};
+  const auto a = workloads::uniform_items(cfg);
+  const auto b = workloads::uniform_items(cfg);
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.items.size(), 64u);
+  const auto trap = workloads::cardinality_trap_items(cfg);
+  EXPECT_EQ(trap.items.size(), 64u * 4u);  // groups of k items
+  trap.validate_input();
+}
+
+}  // namespace
+}  // namespace sharedres

@@ -1,0 +1,304 @@
+// sharedres_cli — command-line front end for the library.
+//
+//   sharedres_cli gen      --family=uniform --machines=8 --jobs=100
+//                          [--capacity=1000000] [--max-size=4] [--seed=1]
+//                          [--out=inst.txt]
+//   sharedres_cli solve    --instance=inst.txt
+//                          [--algorithm=window|unit|gg|equalsplit|sequential]
+//                          [--out=sched.txt] [--gantt]
+//   sharedres_cli validate --instance=inst.txt --schedule=sched.txt
+//   sharedres_cli bounds   --instance=inst.txt
+//
+// `gen` writes a reproducible instance; `solve` schedules it, reports the
+// makespan against the Eq. (1) lower bound and optionally dumps the
+// schedule and an ASCII Gantt chart; `validate` re-checks a schedule file.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <sstream>
+
+#include "baselines/baselines.hpp"
+#include "binpack/packers.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+#include "io/text_io.hpp"
+#include "sas/sas_bounds.hpp"
+#include "sas/sas_scheduler.hpp"
+#include "sas/weighted.hpp"
+#include "sim/analysis.hpp"
+#include "sim/svg.hpp"
+#include "sim/assignment.hpp"
+#include "util/cli.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+int usage() {
+  std::cerr
+      << "usage: sharedres_cli <gen|solve|validate|bounds|pack|sas> [--flags]\n"
+         "  gen      --family=... --machines=M --jobs=N [--out=f]\n"
+         "  solve    --instance=f [--algorithm=window|unit|gg|equalsplit|"
+         "sequential] [--gantt] [--stats] [--svg=f.svg] [--out=f]\n"
+         "  validate --instance=f --schedule=f\n"
+         "  bounds   --instance=f\n"
+         "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
+         "nfd|ffd|pairing] [--out=f]\n"
+         "  sas      --instance=<sas file> [--weights=w1,w2,...]\n";
+  return 2;
+}
+
+int cmd_gen(const util::Cli& cli) {
+  workloads::SosConfig cfg;
+  cfg.machines = static_cast<int>(cli.get_int("machines", 8));
+  cfg.capacity = cli.get_int("capacity", 1'000'000);
+  cfg.jobs = static_cast<std::size_t>(cli.get_int("jobs", 100));
+  cfg.max_size = cli.get_int("max-size", 4);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string family = cli.get("family", "uniform");
+  const core::Instance inst = workloads::make_instance(family, cfg);
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    io::write_instance(std::cout, inst);
+  } else {
+    io::save_instance(out, inst);
+    std::cout << "wrote " << inst.size() << " jobs to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const util::Cli& cli) {
+  const std::string path = cli.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "solve: --instance=<file> required\n";
+    return 2;
+  }
+  const core::Instance inst = io::load_instance(path);
+  const std::string algorithm = cli.get("algorithm", "window");
+
+  core::Schedule schedule;
+  if (algorithm == "window") {
+    schedule = core::schedule_sos(inst);
+  } else if (algorithm == "unit") {
+    schedule = core::schedule_sos_unit(inst);
+  } else if (algorithm == "gg") {
+    schedule = baselines::schedule_garey_graham(inst);
+  } else if (algorithm == "equalsplit") {
+    schedule = baselines::schedule_equal_split(inst);
+  } else if (algorithm == "sequential") {
+    schedule = baselines::schedule_sequential(inst);
+  } else {
+    std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
+    return 2;
+  }
+
+  const auto check = core::validate(inst, schedule);
+  if (!check.ok) {
+    std::cerr << "internal error: produced invalid schedule: " << check.error
+              << "\n";
+    return 1;
+  }
+  const core::LowerBounds lb = core::lower_bounds(inst);
+  std::cout << "algorithm:    " << algorithm << "\n"
+            << "jobs:         " << inst.size() << "\n"
+            << "machines:     " << inst.machines() << "\n"
+            << "makespan:     " << schedule.makespan() << "\n"
+            << "lower bound:  " << lb.combined() << "\n"
+            << "ratio vs LB:  "
+            << static_cast<double>(schedule.makespan()) /
+                   static_cast<double>(std::max<core::Time>(1, lb.combined()))
+            << "\n";
+
+  if (cli.has("gantt")) {
+    std::cout << "\n" << sim::render_gantt(inst.size(), schedule);
+    std::cout << "util "
+              << sim::render_utilization(schedule, inst.capacity()) << "\n";
+  }
+  if (cli.has("stats")) {
+    std::cout << "\n" << sim::to_string(sim::analyze(inst, schedule));
+  }
+  const std::string svg = cli.get("svg", "");
+  if (!svg.empty()) {
+    sim::save_svg(svg, inst, schedule);
+    std::cout << "SVG written to " << svg << "\n";
+  }
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    io::save_schedule(out, schedule);
+    std::cout << "schedule written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const util::Cli& cli) {
+  const std::string inst_path = cli.get("instance", "");
+  const std::string sched_path = cli.get("schedule", "");
+  if (inst_path.empty() || sched_path.empty()) {
+    std::cerr << "validate: --instance=<file> --schedule=<file> required\n";
+    return 2;
+  }
+  const core::Instance inst = io::load_instance(inst_path);
+  const core::Schedule schedule = io::load_schedule(sched_path);
+  const auto check = core::validate(inst, schedule);
+  if (check.ok) {
+    std::cout << "OK: feasible schedule, makespan " << schedule.makespan()
+              << "\n";
+    return 0;
+  }
+  std::cout << "INVALID: " << check.error << "\n";
+  return 1;
+}
+
+int cmd_bounds(const util::Cli& cli) {
+  const std::string path = cli.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "bounds: --instance=<file> required\n";
+    return 2;
+  }
+  const core::Instance inst = io::load_instance(path);
+  const core::LowerBounds lb = core::lower_bounds(inst);
+  std::cout << "resource (⌈Σs/C⌉):      " << lb.resource << "\n"
+            << "volume (⌈Σp/m⌉):        " << lb.volume << "\n"
+            << "longest job:            " << lb.longest_job << "\n"
+            << "combined lower bound:   " << lb.combined() << "\n";
+  if (inst.machines() >= 3) {
+    std::cout << "Theorem 3.3 ratio:      "
+              << core::sos_ratio_bound(inst.machines()).to_double() << "\n";
+  }
+  return 0;
+}
+
+int cmd_pack(const util::Cli& cli) {
+  const std::string path = cli.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "pack: --instance=<packing file> required\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const binpack::PackingInstance inst = io::read_packing_instance(in);
+  const std::string algorithm = cli.get("algorithm", "window");
+
+  binpack::Packing packing;
+  if (algorithm == "window") {
+    packing = binpack::sliding_window_packing(inst);
+  } else if (algorithm == "nextfit") {
+    packing = binpack::next_fit_packing(inst);
+  } else if (algorithm == "nfd") {
+    packing = binpack::next_fit_packing(inst, true);
+  } else if (algorithm == "ffd") {
+    packing = binpack::first_fit_decreasing_packing(inst);
+  } else if (algorithm == "pairing") {
+    packing = binpack::pairing_packing(inst);
+  } else {
+    std::cerr << "pack: unknown --algorithm=" << algorithm << "\n";
+    return 2;
+  }
+  const auto check = binpack::validate(inst, packing);
+  if (!check.ok) {
+    std::cerr << "internal error: invalid packing: " << check.error << "\n";
+    return 1;
+  }
+  const auto lb = binpack::packing_lower_bounds(inst);
+  std::cout << "algorithm:    " << algorithm << "\n"
+            << "items:        " << inst.items.size() << "\n"
+            << "cardinality:  " << inst.cardinality << "\n"
+            << "bins:         " << packing.bin_count() << "\n"
+            << "lower bound:  " << lb.combined() << "\n"
+            << "ratio vs LB:  "
+            << static_cast<double>(packing.bin_count()) /
+                   static_cast<double>(std::max<std::size_t>(1, lb.combined()))
+            << "\n";
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      std::cerr << "cannot open " << out << "\n";
+      return 1;
+    }
+    io::write_packing(os, packing);
+    std::cout << "packing written to " << out << "\n";
+  }
+  return 0;
+}
+
+std::vector<core::Res> parse_weights(const std::string& spec) {
+  std::vector<core::Res> weights;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) weights.push_back(std::stoll(tok));
+  }
+  return weights;
+}
+
+int cmd_sas(const util::Cli& cli) {
+  const std::string path = cli.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "sas: --instance=<sas file> required\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const sas::SasInstance inst = io::read_sas(in);
+  const std::string weight_spec = cli.get("weights", "");
+
+  sas::SasResult result;
+  if (weight_spec.empty()) {
+    result = sas::schedule_sas(inst);
+  } else {
+    result = sas::schedule_sas_weighted(inst, parse_weights(weight_spec));
+  }
+  const auto check = sas::validate(inst, result);
+  if (!check.ok) {
+    std::cerr << "internal error: invalid SAS schedule: " << check.error
+              << "\n";
+    return 1;
+  }
+  std::cout << "tasks:               " << inst.tasks.size() << "\n"
+            << "machines:            " << inst.machines << "\n"
+            << "sum of completions:  " << result.sum_completion << "\n"
+            << "lower bound:         " << sas::sas_lower_bound(inst) << "\n";
+  if (!weight_spec.empty()) {
+    const auto weights = parse_weights(weight_spec);
+    std::cout << "weighted objective:  "
+              << sas::weighted_objective(result, weights) << "\n"
+              << "weighted LB:         "
+              << sas::weighted_lower_bound(inst, weights) << "\n";
+  }
+  for (std::size_t i = 0; i < inst.tasks.size(); ++i) {
+    std::cout << "  task " << i << " (T" << result.task_class[i]
+              << ", " << inst.tasks[i].size() << " jobs): finishes at "
+              << result.completion[i] << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(cli);
+    if (command == "solve") return cmd_solve(cli);
+    if (command == "validate") return cmd_validate(cli);
+    if (command == "bounds") return cmd_bounds(cli);
+    if (command == "pack") return cmd_pack(cli);
+    if (command == "sas") return cmd_sas(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
