@@ -4,12 +4,11 @@
 // processor's leftover). All variants still emit feasible schedules; the
 // table shows the makespan inflation each one costs per workload family.
 //
-// Usage: bench_ablation [--jobs=N] [--seeds=K] [--csv]
-#include <iostream>
-
+// Usage: bench_ablation [--jobs=N] [--seeds=K] [--csv] [--json-dir=DIR]
 #include "core/lower_bounds.hpp"
 #include "core/sos_engine.hpp"
 #include "core/validator.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -41,9 +40,11 @@ core::Time run_variant(const core::Instance& inst, bool grow_left,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_ablation",
+                   "E6 ablation of the window-maintenance ingredients "
+                   "(ratios vs Eq. (1) lower bound)");
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 300));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   util::Table table({"family", "m", "full/LB", "no_growleft/LB",
                      "no_moveright/LB", "no_extra/LB"});
@@ -74,12 +75,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "E6  Ablation of the window-maintenance ingredients "
-               "(ratios vs Eq. (1) lower bound)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E6  Ablation of the window-maintenance ingredients (ratios vs "
+      "Eq. (1) lower bound)");
+  h.table(table);
+  return h.finish();
 }

@@ -5,11 +5,10 @@
 // window packer's overhead vanishes (1/(k−1) → 0) while NextFit keeps a
 // constant-factor gap on cardinality-bound workloads.
 //
-// Usage: bench_binpack [--items=N] [--seeds=K] [--csv]
-#include <iostream>
-
+// Usage: bench_binpack [--items=N] [--seeds=K] [--csv] [--json-dir=DIR]
 #include "binpack/packers.hpp"
 #include "exact/exact_sos.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -18,9 +17,11 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_binpack",
+                   "E4 splittable bin packing with cardinality constraints "
+                   "(Corollary 3.9)");
   const auto items = static_cast<std::size_t>(cli.get_int("items", 300));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   struct Family {
     const char* name;
@@ -88,13 +89,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "E4  Splittable bin packing with cardinality constraints "
-               "(Corollary 3.9)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  h.section(
+      "E4  Splittable bin packing with cardinality constraints "
+      "(Corollary 3.9)");
+  h.table(table);
 
   // Tiny-instance block: ratios against the TRUE optimum.
   util::Table tiny({"k", "instances", "window/OPT_mean", "window/OPT_max",
@@ -125,11 +123,7 @@ int main(int argc, char** argv) {
              util::fixed(static_cast<double>(lb_tight) /
                          static_cast<double>(solved)));
   }
-  std::cout << "\nTiny instances vs exact optimum:\n\n";
-  if (csv) {
-    tiny.write_csv(std::cout);
-  } else {
-    tiny.print(std::cout);
-  }
-  return 0;
+  h.section("Tiny instances vs exact optimum:");
+  h.table(tiny);
+  return h.finish();
 }

@@ -5,12 +5,11 @@
 // view), quantifying the "cost of non-preemption" the paper's Corollary 3.9
 // argues is asymptotically negligible.
 //
-// Usage: bench_exact_gap [--instances=N] [--csv]
-#include <iostream>
-
+// Usage: bench_exact_gap [--instances=N] [--csv] [--json-dir=DIR]
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "exact/exact_sos.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -19,8 +18,10 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_exact_gap",
+                   "E8 Eq. (1) tightness and true approximation ratios on "
+                   "exhaustively solved tiny instances");
   const auto count = static_cast<std::uint64_t>(cli.get_int("instances", 60));
-  const bool csv = cli.has("csv");
 
   util::Table table({"m", "solved", "LB=OPT", "OPT/LB_max", "alg/OPT_mean",
                      "alg/OPT_max", "preempt_gain_max"});
@@ -54,12 +55,9 @@ int main(int argc, char** argv) {
               util::fixed(preempt_gain.max(), 3));
   }
 
-  std::cout << "E8  Eq. (1) tightness and true approximation ratios on "
-               "exhaustively solved tiny instances\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E8  Eq. (1) tightness and true approximation ratios on exhaustively "
+      "solved tiny instances");
+  h.table(table);
+  return h.finish();
 }

@@ -5,13 +5,12 @@
 // fixed greedy's true ratio against the exact fixed optimum on tiny
 // instances.
 //
-// Usage: bench_fixedassign [--seeds=K] [--csv]
-#include <iostream>
-
+// Usage: bench_fixedassign [--seeds=K] [--csv] [--json-dir=DIR]
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "fixedassign/fixed_model.hpp"
 #include "fixedassign/fixed_scheduler.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -48,8 +47,10 @@ fixedassign::FixedInstance random_fixed(std::size_t machines,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  sharedres::bench::Harness h(
+      cli, "bench_fixedassign",
+      "E9 price of fixed assignment ([3] model vs Section 3)");
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 10));
-  const bool csv = cli.has("csv");
 
   util::Table table(
       {"workload", "m", "fixed/LB", "free/LB", "free_vs_fixed"});
@@ -83,12 +84,8 @@ int main(int argc, char** argv) {
                 util::fixed(improvement.mean()));
     }
   }
-  std::cout << "E9  Price of fixed assignment ([3] model vs Section 3)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  h.section("E9  Price of fixed assignment ([3] model vs Section 3)");
+  h.table(table);
 
   // Tiny instances: greedy vs exact fixed optimum.
   util::Table tiny({"m", "solved", "greedy/OPT_mean", "greedy/OPT_max"});
@@ -106,12 +103,9 @@ int main(int argc, char** argv) {
     }
     tiny.add(m, solved, util::fixed(ratio.mean()), util::fixed(ratio.max()));
   }
-  std::cout << "\nTiny instances vs exact fixed optimum ([3] prove 2-1/m "
-               "for their greedy):\n\n";
-  if (csv) {
-    tiny.write_csv(std::cout);
-  } else {
-    tiny.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "Tiny instances vs exact fixed optimum ([3] prove 2-1/m for their "
+      "greedy):");
+  h.table(tiny);
+  return h.finish();
 }

@@ -3,12 +3,11 @@
 // polynomial and near-optimal (on planted YES instances OPT = q exactly, so
 // true ratios are measurable at any size).
 //
-// Usage: bench_hardness [--csv]
-#include <iostream>
-
+// Usage: bench_hardness [--csv] [--json-dir=DIR]
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "hardness/three_partition.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -17,7 +16,9 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
-  const bool csv = cli.has("csv");
+  bench::Harness h(cli, "bench_hardness",
+                   "E10 hardness frontier: exact vs approximation on the "
+                   "3-PARTITION reduction (Theorem 2.1)");
 
   util::Table table({"q", "jobs", "exact_ms", "exact_solved", "window/OPT",
                      "window_ms"});
@@ -53,12 +54,9 @@ int main(int argc, char** argv) {
               util::fixed(window_ms.mean(), 3));
   }
 
-  std::cout << "E10  Hardness frontier: exact vs approximation on the "
-               "3-PARTITION reduction (Theorem 2.1)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E10  Hardness frontier: exact vs approximation on the 3-PARTITION "
+      "reduction (Theorem 2.1)");
+  h.table(table);
+  return h.finish();
 }

@@ -5,10 +5,9 @@
 // frequent (near-boundary, bimodal), reservation catches up when jobs
 // rarely collide (pareto light tails), mirroring E1's offline crossover.
 //
-// Usage: bench_online [--jobs=N] [--seeds=K] [--csv]
-#include <iostream>
-
+// Usage: bench_online [--jobs=N] [--seeds=K] [--csv] [--json-dir=DIR]
 #include "core/sos_scheduler.hpp"
+#include "harness.hpp"
 #include "online/online_scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -18,9 +17,11 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_online",
+                   "E11 online arrivals (extension): greedy sharing vs "
+                   "reservation, bursty releases");
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 200));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   util::Table table({"family", "m", "greedy/LB", "reservation/LB",
                      "greedy/clairvoyant"});
@@ -54,12 +55,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "E11  Online arrivals (extension): greedy sharing vs "
-               "reservation, bursty releases\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E11  Online arrivals (extension): greedy sharing vs reservation, "
+      "bursty releases");
+  h.table(table);
+  return h.finish();
 }

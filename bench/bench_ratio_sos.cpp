@@ -4,12 +4,12 @@
 // context. The "bound" column is the proven 2 + 1/(m−2).
 //
 // Usage: bench_ratio_sos [--jobs=N] [--capacity=C] [--seeds=K] [--csv]
-#include <iostream>
-
+//        [--threads=T] [--json-dir=DIR]
 #include "baselines/baselines.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -34,10 +34,12 @@ struct CellResult {
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_ratio_sos",
+                   "E1 SoS approximation ratio vs Eq. (1) lower bound "
+                   "(Theorem 3.3)");
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 400));
   const auto capacity = cli.get_int("capacity", 1'000'000);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   std::vector<Cell> cells;
   for (const std::string& family : workloads::instance_families()) {
@@ -49,7 +51,8 @@ int main(int argc, char** argv) {
   // Cells are independent; fan them out (results collected in cell order,
   // so the table is identical to a serial run).
   const auto results = util::parallel_map<CellResult>(
-      cells.size(), [&](std::size_t c) {
+      cells.size(),
+      [&](std::size_t c) {
         const Cell& cell = cells[c];
         CellResult out;
         for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
@@ -70,7 +73,8 @@ int main(int argc, char** argv) {
           out.gg_ratio.add(static_cast<double>(gg.makespan()) / lb);
         }
         return out;
-      });
+      },
+      h.threads());
 
   util::Table table({"family", "m", "n", "ratio_mean", "ratio_max",
                      "gg_ratio_mean", "bound", "valid"});
@@ -83,12 +87,8 @@ int main(int argc, char** argv) {
               results[c].all_valid ? "yes" : "NO");
   }
 
-  std::cout << "E1  SoS approximation ratio vs Eq. (1) lower bound "
-               "(Theorem 3.3)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E1  SoS approximation ratio vs Eq. (1) lower bound (Theorem 3.3)");
+  h.table(table);
+  return h.finish();
 }

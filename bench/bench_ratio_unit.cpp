@@ -4,62 +4,90 @@
 // and how both scale with m.
 //
 // Usage: bench_ratio_unit [--jobs=N] [--capacity=C] [--seeds=K] [--csv]
-#include <iostream>
-
+//        [--threads=T] [--json-dir=DIR]
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
-#include "core/validator.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/sos_generators.hpp"
 
+namespace {
+
+struct Cell {
+  std::string family;
+  int machines = 0;
+};
+
+struct CellResult {
+  sharedres::util::Summary unit_ratio;
+  sharedres::util::Summary general_ratio;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_ratio_unit",
+                   "E2 unit-size jobs: m-maximal windows vs the general "
+                   "algorithm (Theorem 3.3, unit case; Corollary 3.9)");
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 500));
   const auto capacity = cli.get_int("capacity", 1'000'000);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
-  util::Table table({"family", "m", "unit_ratio", "unit_max", "general_ratio",
-                     "unit_bound", "general_bound"});
-
+  std::vector<Cell> cells;
   for (const std::string& family : workloads::instance_families()) {
     for (const int m : {2, 3, 4, 6, 8, 16, 32, 64, 128}) {
-      util::Summary unit_ratio;
-      util::Summary general_ratio;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        workloads::SosConfig cfg;
-        cfg.machines = m;
-        cfg.capacity = capacity;
-        cfg.jobs = jobs;
-        cfg.max_size = 1;
-        cfg.seed = seed;
-        const core::Instance inst = workloads::make_instance(family, cfg);
-        const double lb =
-            core::lower_bounds(inst).combined_exact().to_double();
-        unit_ratio.add(
-            static_cast<double>(core::schedule_sos_unit(inst).makespan()) /
-            lb);
-        general_ratio.add(
-            static_cast<double>(core::schedule_sos(inst).makespan()) / lb);
-      }
-      table.add(family, m, util::fixed(unit_ratio.mean()),
-                util::fixed(unit_ratio.max()),
-                util::fixed(general_ratio.mean()),
-                util::fixed(core::unit_ratio_bound(m).to_double()),
-                m >= 3 ? util::fixed(core::sos_ratio_bound(m).to_double())
-                       : std::string("-"));
+      cells.push_back(Cell{family, m});
     }
   }
 
-  std::cout << "E2  Unit-size jobs: m-maximal windows vs the general "
-               "algorithm (Theorem 3.3, unit case; Corollary 3.9)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
+  // Cells are independent; fan them out (results collected in cell order,
+  // so the table is identical to a serial run).
+  const auto results = util::parallel_map<CellResult>(
+      cells.size(),
+      [&](std::size_t c) {
+        const Cell& cell = cells[c];
+        CellResult out;
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+          workloads::SosConfig cfg;
+          cfg.machines = cell.machines;
+          cfg.capacity = capacity;
+          cfg.jobs = jobs;
+          cfg.max_size = 1;
+          cfg.seed = seed;
+          const core::Instance inst =
+              workloads::make_instance(cell.family, cfg);
+          const double lb =
+              core::lower_bounds(inst).combined_exact().to_double();
+          out.unit_ratio.add(
+              static_cast<double>(core::schedule_sos_unit(inst).makespan()) /
+              lb);
+          out.general_ratio.add(
+              static_cast<double>(core::schedule_sos(inst).makespan()) / lb);
+        }
+        return out;
+      },
+      h.threads());
+
+  util::Table table({"family", "m", "unit_ratio", "unit_max", "general_ratio",
+                     "unit_bound", "general_bound"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const int m = cells[c].machines;
+    table.add(cells[c].family, m, util::fixed(results[c].unit_ratio.mean()),
+              util::fixed(results[c].unit_ratio.max()),
+              util::fixed(results[c].general_ratio.mean()),
+              util::fixed(core::unit_ratio_bound(m).to_double()),
+              m >= 3 ? util::fixed(core::sos_ratio_bound(m).to_double())
+                     : std::string("-"));
   }
-  return 0;
+
+  h.section(
+      "E2  Unit-size jobs: m-maximal windows vs the general algorithm "
+      "(Theorem 3.3, unit case; Corollary 3.9)");
+  h.table(table);
+  return h.finish();
 }

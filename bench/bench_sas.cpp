@@ -3,10 +3,9 @@
 // task mixes. Also reports the T1/T2 split and the per-lemma slack of the
 // two sub-schedulers.
 //
-// Usage: bench_sas [--tasks=K] [--seeds=S] [--csv]
-#include <iostream>
-
+// Usage: bench_sas [--tasks=K] [--seeds=S] [--csv] [--json-dir=DIR]
 #include "exact/exact_sas.hpp"
+#include "harness.hpp"
 #include "sas/sas_bounds.hpp"
 #include "sas/sas_scheduler.hpp"
 #include "sas/weighted.hpp"
@@ -19,9 +18,11 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_sas",
+                   "E5 SAS sum of completion times vs Lemma 4.3 lower bound "
+                   "(Theorem 4.8)");
   const auto tasks = static_cast<std::size_t>(cli.get_int("tasks", 48));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   struct Mix {
     const char* name;
@@ -75,13 +76,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "E5  SAS sum of completion times vs Lemma 4.3 lower bound "
-               "(Theorem 4.8)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  h.section(
+      "E5  SAS sum of completion times vs Lemma 4.3 lower bound "
+      "(Theorem 4.8)");
+  h.table(table);
 
   // E5b — the weighted extension: Smith-rule ordering vs the paper's order
   // under the weighted objective Σ w_i·f_i (weights uniform in [1, 20]).
@@ -119,13 +117,10 @@ int main(int argc, char** argv) {
                  util::fixed(plain_ratio.mean()), util::fixed(gain.mean()));
     }
   }
-  std::cout << "\nE5b  Weighted extension (Smith-rule order vs paper order, "
-               "ratios vs the proven weighted LB)\n\n";
-  if (csv) {
-    wtable.write_csv(std::cout);
-  } else {
-    wtable.print(std::cout);
-  }
+  h.section(
+      "E5b  Weighted extension (Smith-rule order vs paper order, ratios vs "
+      "the proven weighted LB)");
+  h.table(wtable);
 
   // Micro instances: the Theorem-4.8 algorithm against the TRUE optimum
   // (exact branch-and-bound) and the Lemma-4.3 bound's tightness.
@@ -163,11 +158,7 @@ int main(int argc, char** argv) {
                              static_cast<double>(std::max(1, solved)),
                          3));
   }
-  std::cout << "\nMicro instances vs exact optimum (m = 4):\n\n";
-  if (csv) {
-    tiny.write_csv(std::cout);
-  } else {
-    tiny.print(std::cout);
-  }
-  return 0;
+  h.section("Micro instances vs exact optimum (m = 4):");
+  h.table(tiny);
+  return h.finish();
 }

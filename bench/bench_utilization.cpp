@@ -4,10 +4,9 @@
 // T_R fall relative to the makespan, the heavy/light case mix, and mean
 // resource utilization.
 //
-// Usage: bench_utilization [--jobs=N] [--seeds=K] [--csv]
-#include <iostream>
-
+// Usage: bench_utilization [--jobs=N] [--seeds=K] [--csv] [--json-dir=DIR]
 #include "core/sos_scheduler.hpp"
+#include "harness.hpp"
 #include "sim/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -17,9 +16,11 @@
 int main(int argc, char** argv) {
   using namespace sharedres;
   const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_utilization",
+                   "E7 proof mechanics: case mix, utilization, T_L/T_R "
+                   "(Theorem 3.3, Lemma 3.8)");
   const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 400));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const bool csv = cli.has("csv");
 
   util::Table table({"family", "m", "heavy_frac", "util_mean", "tL/makespan",
                      "tR/makespan", "dichotomy_viol", "border_viol"});
@@ -58,12 +59,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "E7  Proof mechanics: case mix, utilization, T_L/T_R "
-               "(Theorem 3.3, Lemma 3.8)\n\n";
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
+  h.section(
+      "E7  Proof mechanics: case mix, utilization, T_L/T_R (Theorem 3.3, "
+      "Lemma 3.8)");
+  h.table(table);
+  return h.finish();
 }

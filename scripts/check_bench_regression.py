@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json artifacts against a baseline directory.
+
+Every bench binary (see bench/harness.hpp) writes a machine-readable
+BENCH_<name>.json next to its table output. This script validates those
+artifacts against the schema and flags timing regressions relative to a
+baseline set of the same files.
+
+Matching is by (file name, timing label). For each matched timing the
+comparison uses seconds_min — the least-noise estimate of the true cost —
+and flags a regression when BOTH hold:
+
+  current_min > threshold * baseline_min      (relative blow-up), and
+  current_min > min_seconds                   (absolute noise floor).
+
+The absolute floor makes the check portable across machines: sub-floor
+cells (the CI smoke sizes) can never flag on scheduler jitter, while a
+complexity regression — e.g. the unit engine's window walk going quadratic
+again on the front-accumulation workload, a >100x blow-up — lands far above
+both gates on any hardware.
+
+Schema validation (always on, regression gates or not):
+  * schema_version == 1 and all top-level keys present,
+  * every timing has min <= median <= max and min <= mean <= max,
+  * timings include the harness's "total" entry.
+
+Exit status: 0 = all checks passed, 1 = regression or schema violation,
+2 = usage/IO error.
+
+Usage:
+  check_bench_regression.py --baseline DIR --current DIR
+                            [--threshold X] [--min-seconds S] [--strict]
+
+  --threshold X    relative gate, default 3.0
+  --min-seconds S  absolute gate in seconds, default 0.05
+  --strict         also fail when a baseline timing label is missing from
+                   the current run (default: warn)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA_KEYS = ("schema_version", "name", "experiment", "threads", "tables",
+               "timings")
+TIMING_KEYS = ("label", "reps", "seconds_min", "seconds_median",
+               "seconds_mean", "seconds_max", "items_per_second")
+
+
+def load_artifacts(directory: pathlib.Path) -> dict[str, dict]:
+    """Read every BENCH_*.json in `directory`, keyed by file name."""
+    artifacts = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                artifacts[path.name] = json.load(fh)
+            except json.JSONDecodeError as exc:
+                print(f"error: {path}: invalid JSON: {exc}", file=sys.stderr)
+                raise SystemExit(2)
+    return artifacts
+
+
+def validate_schema(name: str, doc: dict, errors: list[str]) -> None:
+    for key in SCHEMA_KEYS:
+        if key not in doc:
+            errors.append(f"{name}: missing top-level key '{key}'")
+            return
+    if doc["schema_version"] != 1:
+        errors.append(f"{name}: unsupported schema_version "
+                      f"{doc['schema_version']!r}")
+        return
+    labels = set()
+    for i, timing in enumerate(doc["timings"]):
+        for key in TIMING_KEYS:
+            if key not in timing:
+                errors.append(f"{name}: timings[{i}] missing '{key}'")
+                return
+        lo, med = timing["seconds_min"], timing["seconds_median"]
+        mean, hi = timing["seconds_mean"], timing["seconds_max"]
+        if not (lo <= med <= hi and lo <= mean <= hi):
+            errors.append(
+                f"{name}: timings[{i}] ('{timing['label']}') not monotone: "
+                f"min={lo} median={med} mean={mean} max={hi}")
+        labels.add(timing["label"])
+    if "total" not in labels:
+        errors.append(f"{name}: no 'total' timing entry")
+    for i, table in enumerate(doc["tables"]):
+        for key in ("title", "columns", "rows"):
+            if key not in table:
+                errors.append(f"{name}: tables[{i}] missing '{key}'")
+                return
+        width = len(table["columns"])
+        for j, row in enumerate(table["rows"]):
+            if len(row) != width:
+                errors.append(f"{name}: tables[{i}] row {j} has {len(row)} "
+                              f"cells, header has {width}")
+
+
+def compare(name: str, baseline: dict, current: dict, threshold: float,
+            min_seconds: float, strict: bool, errors: list[str],
+            warnings: list[str]) -> None:
+    base_timings = {t["label"]: t for t in baseline["timings"]}
+    cur_timings = {t["label"]: t for t in current["timings"]}
+    for label, base in base_timings.items():
+        if label == "total":
+            continue  # whole-binary wall time depends on the sweep config
+        cur = cur_timings.get(label)
+        if cur is None:
+            msg = f"{name}: baseline timing '{label}' missing from current run"
+            (errors if strict else warnings).append(msg)
+            continue
+        base_min, cur_min = base["seconds_min"], cur["seconds_min"]
+        if cur_min > threshold * base_min and cur_min > min_seconds:
+            errors.append(
+                f"{name}: '{label}' regressed {cur_min / max(base_min, 1e-12):.1f}x "
+                f"(baseline {base_min:.6f}s -> current {cur_min:.6f}s, "
+                f"threshold {threshold}x, floor {min_seconds}s)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate and compare BENCH_*.json artifacts.")
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--current", required=True, type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=3.0)
+    parser.add_argument("--min-seconds", type=float, default=0.05)
+    parser.add_argument("--strict", action="store_true")
+    args = parser.parse_args()
+
+    if not args.current.is_dir():
+        print(f"error: current directory {args.current} does not exist",
+              file=sys.stderr)
+        return 2
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
+
+    baseline = load_artifacts(args.baseline)
+    current = load_artifacts(args.current)
+    if not current:
+        print(f"error: no BENCH_*.json files in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    warnings: list[str] = []
+    for name, doc in current.items():
+        validate_schema(name, doc, errors)
+    for name, doc in baseline.items():
+        validate_schema(f"baseline/{name}", doc, errors)
+
+    compared = 0
+    for name, base_doc in baseline.items():
+        cur_doc = current.get(name)
+        if cur_doc is None:
+            msg = f"{name}: present in baseline but not in current run"
+            (errors if args.strict else warnings).append(msg)
+            continue
+        compared += 1
+        compare(name, base_doc, cur_doc, args.threshold, args.min_seconds,
+                args.strict, errors, warnings)
+
+    for msg in warnings:
+        print(f"warning: {msg}")
+    for msg in errors:
+        print(f"REGRESSION: {msg}")
+    print(f"checked {len(current)} artifact(s), compared {compared} against "
+          f"baseline: {len(errors)} error(s), {len(warnings)} warning(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,13 @@ class Schedule {
   Schedule() = default;
 
   /// Append a block; merges with the previous block when identical.
+  /// Accepts the assignment vector by value — engines move their share
+  /// buffers in, so the only allocation per block is the one stored here.
   void append(Time length, std::vector<Assignment> assignments);
+
+  /// Pre-size the block list (engines pass a lower-bound block count so the
+  /// run loop appends without intermediate regrowth).
+  void reserve_blocks(std::size_t blocks) { blocks_.reserve(blocks); }
 
   [[nodiscard]] Time makespan() const { return makespan_; }
   [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }

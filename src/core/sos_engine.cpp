@@ -191,8 +191,17 @@ void SosEngine::prepare_step() {
 }
 
 PlannedStep SosEngine::plan() const {
-  ensure(wl_ != kNoJob, "plan with an empty window");
   PlannedStep out;
+  plan_into(out);
+  return out;
+}
+
+void SosEngine::plan_into(PlannedStep& out) const {
+  ensure(wl_ != kNoJob, "plan with an empty window");
+  out.shares.clear();
+  out.extra_job = false;
+  out.step_case = StepCase::kLight;
+  out.fractured.reset();
   out.shares.reserve(wsize_ + 1);
 
   const JobId iota = find_fractured();
@@ -259,7 +268,6 @@ PlannedStep SosEngine::plan() const {
       out.extra_job = true;
     }
   }
-  return out;
 }
 
 bool SosEngine::apply(const PlannedStep& planned, Time reps) {
@@ -268,20 +276,22 @@ bool SosEngine::apply(const PlannedStep& planned, Time reps) {
     ensure(reps == 1, "extra-job steps cannot repeat");
     add_right(planned.shares.back().job);
   }
-  bool any_finished = false;
+  // Decrement every share first, then drop the finished jobs in one batch:
+  // the list/window surgery of finish_job stays off the decrement loop, and
+  // the window bounds are adjusted once per finisher, not interleaved with
+  // reads of rem_.
+  finished_scratch_.clear();
   for (const Assignment& a : planned.shares) {
     const Res total = util::mul_checked(a.share, reps);
     ensure(rem_[a.job] >= total, "apply overshoots a job's remaining work");
     ensure(reps == 1 || rem_[a.job] > util::mul_checked(a.share, reps - 1),
            "apply: a job would finish strictly inside the block");
     rem_[a.job] -= total;
-    if (rem_[a.job] == 0) {
-      finish_job(a.job);
-      any_finished = true;
-    }
+    if (rem_[a.job] == 0) finished_scratch_.push_back(a.job);
   }
+  for (const JobId j : finished_scratch_) finish_job(j);
   now_ += reps;
-  return any_finished;
+  return !finished_scratch_.empty();
 }
 
 StepInfo SosEngine::make_info(const PlannedStep& planned,
@@ -313,10 +323,19 @@ StepInfo SosEngine::step() {
 }
 
 void SosEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
+  // Hot path: the two PlannedSteps are scratch buffers reused across every
+  // block, so a block costs exactly one share-vector allocation — the one
+  // that ends up stored in the schedule. StepInfo (which copies the share
+  // vector) is only materialized when an observer is attached.
+  PlannedStep planned;
+  PlannedStep again;
+  out.reserve_blocks(remaining_jobs_ / (params_.window_cap + 1) + 1);
   while (!done()) {
     prepare_step();
-    const PlannedStep planned = plan();
-    StepInfo info = make_info(planned, now_ + 1);
+    plan_into(planned);
+    const Time first_step = now_ + 1;
+    StepInfo info;
+    if (observer != nullptr) info = make_info(planned, first_step);
     const bool finished_any = apply(planned, 1);
     Time reps = 1;
 
@@ -325,7 +344,7 @@ void SosEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
       // started), so only the fracture pattern can alter the plan. If the
       // re-planned step is identical, it stays identical until the first job
       // finishes (see DESIGN.md §4): extend up to just before that finish.
-      const PlannedStep again = plan();
+      plan_into(again);
       if (again.shares == planned.shares) {
         Time until_change = std::numeric_limits<Time>::max();
         for (const Assignment& a : planned.shares) {
@@ -356,9 +375,13 @@ void SosEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
         }
       }
     }
-    info.repeat = reps;
-    out.append(reps, planned.shares);
-    if (observer != nullptr) observer->on_step(info);
+    if (observer != nullptr) {
+      info.repeat = reps;
+      out.append(reps, planned.shares);
+      observer->on_step(info);
+    } else {
+      out.append(reps, std::move(planned.shares));
+    }
   }
 }
 

@@ -72,6 +72,11 @@ class SosEngine {
   /// Listing 1 lines 7–20 as a pure function of the prepared state.
   [[nodiscard]] PlannedStep plan() const;
 
+  /// As plan(), but reuses `out`'s share vector instead of allocating a new
+  /// one — the hot-path form used by run(), which recycles two scratch
+  /// PlannedSteps across all apply(reps) repetitions of the block loop.
+  void plan_into(PlannedStep& out) const;
+
   /// Apply `planned` for `reps` consecutive steps. Requires that no job would
   /// finish strictly before step `reps` (callers establish this; violating it
   /// throws). Returns true iff some job finished in the final step.
@@ -124,6 +129,8 @@ class SosEngine {
 
   std::size_t remaining_jobs_ = 0;
   Time now_ = 0;               // completed time steps
+
+  std::vector<JobId> finished_scratch_;  // apply()'s batched finish list
 };
 
 }  // namespace sharedres::core

@@ -97,9 +97,20 @@ void UnitEngine::reposition_started(JobId j) {
 UnitEngine::StepPlan UnitEngine::build_window() const {
   ensure(remaining_jobs_ > 0, "build_window after completion");
   StepPlan plan;
-  // Start from the started job ι (the only survivor of the last window), or
-  // from the leftmost remaining job (GrowWindowRight on an empty window).
-  plan.wl = plan.wr = (iota_ != kNoJob) ? iota_ : next_[head_];
+  // Start from the started job ι (the only survivor of the last window); if
+  // the previous window completed fully, resume from the cursor it left
+  // behind instead of restarting from the leftmost remaining job — the
+  // GrowWindowLeft below re-examines the ≤ m−1 jobs left of the cursor, and
+  // everything further left is known to slide (see the cursor_ invariant).
+  JobId start;
+  if (iota_ != kNoJob) {
+    start = iota_;
+  } else if (cursor_ != kNoJob && cursor_ != head_) {
+    start = cursor_;
+  } else {
+    start = next_[head_];
+  }
+  plan.wl = plan.wr = start;
   plan.wsize = 1;
   plan.wkey = key(plan.wl);
 
@@ -142,6 +153,7 @@ StepInfo UnitEngine::execute(const StepPlan& plan) {
       plan.wkey >= capacity_ ? StepCase::kHeavy : StepCase::kLight;
   if (iota_ != kNoJob) info.fractured = iota_;
 
+  info.shares.reserve(plan.wsize);
   for (JobId j = plan.wl;; j = next_[j]) {
     const Res share = (j == plan.wr) ? plan.max_share : key(j);
     info.shares.push_back({j, share});
@@ -151,6 +163,7 @@ StepInfo UnitEngine::execute(const StepPlan& plan) {
   }
 
   // Apply: every member except possibly wr finishes.
+  const JobId resume = prev_[plan.wl];
   JobId j = plan.wl;
   while (true) {
     const JobId nxt = next_[j];
@@ -167,6 +180,7 @@ StepInfo UnitEngine::execute(const StepPlan& plan) {
     if (is_max) break;
     j = nxt;
   }
+  if (iota_ == kNoJob) cursor_ = resume;  // full completion: resume here
   ++now_;
   return info;
 }
@@ -174,6 +188,7 @@ StepInfo UnitEngine::execute(const StepPlan& plan) {
 StepInfo UnitEngine::step() { return execute(build_window()); }
 
 void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
+  out.reserve_blocks(remaining_jobs_ / m_ + 1);
   while (!done()) {
     const StepPlan plan = build_window();
 
@@ -198,19 +213,28 @@ void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
       rem_[j] -= reps * capacity_;
       now_ += reps;
       if (leftover == 0) {
+        cursor_ = prev_[j];  // full completion: resume here
         finish(j);
       } else {
         iota_ = j;
         reposition_started(j);
       }
-      out.append(reps, info.shares);
-      if (observer != nullptr) observer->on_step(info);
+      if (observer != nullptr) {
+        out.append(reps, info.shares);
+        observer->on_step(info);
+      } else {
+        out.append(reps, std::move(info.shares));
+      }
       continue;
     }
 
-    const StepInfo info = execute(plan);
-    out.append(1, info.shares);
-    if (observer != nullptr) observer->on_step(info);
+    StepInfo info = execute(plan);
+    if (observer != nullptr) {
+      out.append(1, info.shares);
+      observer->on_step(info);
+    } else {
+      out.append(1, std::move(info.shares));
+    }
   }
 }
 

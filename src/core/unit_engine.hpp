@@ -70,6 +70,14 @@ class UnitEngine {
   std::vector<JobId> next_, prev_;
   JobId head_, tail_;
   JobId iota_ = kNoJob;
+  /// Resume point for the window walk after a full window completion: the
+  /// list node just left of the window that finished. Every m-window entirely
+  /// left of it has requirement < C (each was examined — and slid past — by
+  /// an earlier walk, and keys only shrink), so GrowWindowLeft from here
+  /// rebuilds exactly the window a restart-from-head walk would slide to.
+  /// This caps the total walk work at O(m) amortized per step instead of the
+  /// O(n) restart cost documented in DESIGN.md §4.
+  JobId cursor_ = kNoJob;
   /// Next-alive successor structure (DSU with path halving) over the static
   /// sorted job array; lets reposition_started() find its insertion point by
   /// binary search over requirements instead of a list walk, which is

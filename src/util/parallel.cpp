@@ -1,40 +1,73 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 namespace sharedres::util {
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads) {
+std::size_t default_threads(std::size_t max_threads) {
+  if (const char* env = std::getenv("SHAREDRES_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return std::min<std::size_t>(static_cast<std::size_t>(v), max_threads);
+    }
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t n = hw == 0 ? 1 : hw;
+  return n < max_threads ? n : max_threads;
+}
+
+namespace detail {
+
+void parallel_chunks(std::size_t count,
+                     void (*body)(void* ctx, std::size_t begin,
+                                  std::size_t end),
+                     void* ctx, std::size_t threads) {
   if (count == 0) return;
   if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    body(ctx, 0, count);
     return;
   }
 
-  std::atomic<std::size_t> cursor{0};
+  const std::size_t workers = std::min(threads, count);
+  // The first half of the index space is split evenly (one static chunk per
+  // worker, zero coordination); the second half is served in small dynamic
+  // chunks so a worker stuck on an expensive cell doesn't serialize the tail.
+  const std::size_t static_total = count / 2;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, (count - static_total) / (workers * 8));
+  std::atomic<std::size_t> cursor{static_total};
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+  auto worker = [&](std::size_t t) {
+    try {
+      const std::size_t begin = static_total * t / workers;
+      const std::size_t end = static_total * (t + 1) / workers;
+      if (begin < end) body(ctx, begin, end);
+      for (;;) {
+        const std::size_t lo =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= count) return;
+        body(ctx, lo, std::min(lo + chunk, count));
       }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
     }
   };
 
   std::vector<std::thread> pool;
-  const std::size_t workers = threads < count ? threads : count;
   pool.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
 
+}  // namespace detail
 }  // namespace sharedres::util

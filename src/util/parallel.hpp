@@ -5,35 +5,61 @@
 // output order — and therefore every printed table — identical to a serial
 // run. Work items must not share mutable state (each cell gets its own Rng
 // stream via the seed discipline of the workloads module).
+//
+// The sweep is chunked and allocation-free on the dispatch path: the body is
+// a template (no per-item std::function indirection), and workers process a
+// static chunk each before draining the remainder in fixed-size dynamic
+// chunks from an atomic cursor — even splits for uniform cells, work
+// stealing for skewed ones.
 #pragma once
 
 #include <cstddef>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace sharedres::util {
 
-/// Number of worker threads to use: hardware concurrency, at least 1,
-/// capped by the `max_threads` argument.
-[[nodiscard]] inline std::size_t default_threads(std::size_t max_threads = 64) {
-  const std::size_t hw = std::thread::hardware_concurrency();
-  const std::size_t n = hw == 0 ? 1 : hw;
-  return n < max_threads ? n : max_threads;
+/// Number of worker threads to use: the SHAREDRES_THREADS environment
+/// variable if set to a positive integer (pinnable parallelism for CI
+/// runners and benches), else hardware concurrency; at least 1, capped by
+/// the `max_threads` argument.
+[[nodiscard]] std::size_t default_threads(std::size_t max_threads = 64);
+
+namespace detail {
+
+/// Type-erased chunk dispatcher: invokes body(ctx, begin, end) over disjoint
+/// ranges covering [0, count) across `threads` workers. Exceptions thrown by
+/// the body are captured and the first one rethrown on the calling thread
+/// after all workers join.
+void parallel_chunks(std::size_t count,
+                     void (*body)(void* ctx, std::size_t begin,
+                                  std::size_t end),
+                     void* ctx, std::size_t threads);
+
+}  // namespace detail
+
+/// Invoke fn(i) for i in [0, count) across `threads` workers (static +
+/// dynamic chunk hybrid). Exceptions are captured and the first one rethrown
+/// on the calling thread after all workers join.
+template <class Fn>
+void parallel_for(std::size_t count, Fn&& fn,
+                  std::size_t threads = default_threads()) {
+  using Body = std::remove_reference_t<Fn>;
+  detail::parallel_chunks(
+      count,
+      [](void* ctx, std::size_t begin, std::size_t end) {
+        Body& body = *static_cast<Body*>(ctx);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+      threads);
 }
 
-/// Invoke fn(i) for i in [0, count) across `threads` workers (dynamic
-/// chunking via an atomic cursor). Exceptions are captured and the first one
-/// rethrown on the calling thread after all workers join.
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads = default_threads());
-
-/// Map [0, count) through fn in parallel, collecting results in index order.
-template <class T>
-std::vector<T> parallel_map(std::size_t count,
-                            const std::function<T(std::size_t)>& fn,
+/// Map [0, count) through fn in parallel, collecting results in index order
+/// (deterministic output regardless of execution interleaving).
+template <class T, class Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& fn,
                             std::size_t threads = default_threads()) {
   std::vector<T> results(count);
   parallel_for(

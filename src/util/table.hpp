@@ -25,6 +25,15 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Column names, in display order (used by the JSON bench artifacts).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  /// Raw cell strings, row-major (used by the JSON bench artifacts).
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   /// Render with aligned columns and a header rule.
   void print(std::ostream& os) const;
 

@@ -1,7 +1,12 @@
-// Monotonic stopwatch for runtime experiments.
+// Monotonic stopwatch and repeated-measurement helpers for runtime
+// experiments. All readings come from std::chrono::steady_clock, so wall
+// clock adjustments cannot produce negative or distorted samples.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <vector>
 
 namespace sharedres::util {
 
@@ -20,5 +25,57 @@ class Timer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Wall-clock samples (seconds) from repeated runs of the same workload.
+/// The robust statistics of choice are min (least-noise estimate of the true
+/// cost on an otherwise idle machine) and median (noise-resistant central
+/// tendency); mean/max expose scheduling jitter.
+struct Measurement {
+  std::vector<double> samples;  ///< seconds, in run order
+
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+  [[nodiscard]] std::size_t reps() const { return samples.size(); }
+
+  [[nodiscard]] double min() const {
+    return samples.empty()
+               ? 0.0
+               : *std::min_element(samples.begin(), samples.end());
+  }
+  [[nodiscard]] double max() const {
+    return samples.empty()
+               ? 0.0
+               : *std::max_element(samples.begin(), samples.end());
+  }
+  [[nodiscard]] double mean() const {
+    if (samples.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples) sum += s;
+    return sum / static_cast<double>(samples.size());
+  }
+  /// Median of the samples (average of the middle two for even counts).
+  [[nodiscard]] double median() const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    if (sorted.size() % 2 == 1) return sorted[mid];
+    return 0.5 * (sorted[mid - 1] + sorted[mid]);
+  }
+};
+
+/// Run fn() `reps` times, timing each run. The callable is responsible for
+/// keeping its work observable (e.g. accumulate a checksum) so the optimizer
+/// cannot delete it.
+template <class Fn>
+Measurement measure_seconds(std::size_t reps, Fn&& fn) {
+  Measurement m;
+  m.samples.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    m.samples.push_back(t.seconds());
+  }
+  return m;
+}
 
 }  // namespace sharedres::util

@@ -64,6 +64,19 @@ Instance pareto_instance(const SosConfig& cfg, double alpha, double lo_frac,
   return Instance(cfg.machines, cfg.capacity, std::move(jobs));
 }
 
+Instance front_accumulation_instance(const SosConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  const int m = std::max(2, cfg.machines);
+  const Res hi = std::max<Res>(
+      1, cfg.capacity / (2 * static_cast<Res>(m)));
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    jobs.push_back(Job{1, rng.uniform_int(1, hi)});
+  }
+  return Instance(cfg.machines, cfg.capacity, std::move(jobs));
+}
+
 Instance near_boundary_instance(const SosConfig& cfg, double epsilon_frac) {
   util::Rng rng(cfg.seed);
   std::vector<Job> jobs;

@@ -41,6 +41,14 @@ core::Instance bimodal_instance(const SosConfig& cfg, double light_frac = 0.02,
 core::Instance pareto_instance(const SosConfig& cfg, double alpha = 1.2,
                                double lo_frac = 0.005, double hi_frac = 1.0);
 
+/// Adversarial for the unit engine's window walk (DESIGN.md §4): unit-size
+/// jobs with requirements in [1, C/(2m)], so every m-window is light, each
+/// step slides to the right border and completes fully, and small jobs
+/// accumulate at the front of the virtual order. Ignores cfg.max_size
+/// (always unit size). Not part of instance_families(): referenced directly
+/// by bench_runtime and the engine-equality tests.
+core::Instance front_accumulation_instance(const SosConfig& cfg);
+
 /// Adversarial for naive packers: requirements just above C/(m−1), so that
 /// m−1 jobs never quite fit and window placement decides everything.
 core::Instance near_boundary_instance(const SosConfig& cfg,

@@ -1,9 +1,12 @@
 // util::parallel_for / parallel_map: completeness, determinism of collected
-// results, exception propagation.
+// results, exception propagation, chunk hybrid behavior, and the
+// SHAREDRES_THREADS override.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 
 #include "util/parallel.hpp"
 
@@ -53,6 +56,67 @@ TEST(Parallel, HandlesEdgeCases) {
   EXPECT_EQ(calls, 1);
   EXPECT_GE(default_threads(), 1u);
   EXPECT_LE(default_threads(4), 4u);
+}
+
+TEST(Parallel, CoversSkewedWorkAcrossThreadCounts) {
+  // The static half + dynamic-chunk tail must cover every index exactly
+  // once no matter how the thread count relates to the item count —
+  // including more threads than items and wildly skewed per-item cost.
+  for (const std::size_t threads : {2u, 3u, 7u, 16u, 200u}) {
+    constexpr std::size_t kCount = 129;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          // Skew: the last few items are ~1000x the first ones.
+          volatile std::size_t sink = 0;
+          for (std::size_t k = 0; k < i * i; ++k) sink += k;
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        threads);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Parallel, MapDeterministicUnderSkewAndThreadCount) {
+  const auto reference = parallel_map<std::size_t>(
+      200, [](std::size_t i) { return i * 31 + 7; }, 1);
+  for (const std::size_t threads : {2u, 5u, 64u}) {
+    const auto mapped = parallel_map<std::size_t>(
+        200,
+        [](std::size_t i) {
+          volatile std::size_t sink = 0;
+          for (std::size_t k = 0; k < (200 - i) * 50; ++k) sink += k;
+          return i * 31 + 7;
+        },
+        threads);
+    EXPECT_EQ(mapped, reference) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, DefaultThreadsHonorsEnvOverride) {
+  const char* old = std::getenv("SHAREDRES_THREADS");
+  const std::string saved = old ? old : "";
+
+  ::setenv("SHAREDRES_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3u);
+  EXPECT_EQ(default_threads(2), 2u);  // still capped by max_threads
+
+  // Malformed or non-positive values fall back to hardware concurrency.
+  ::setenv("SHAREDRES_THREADS", "0", 1);
+  EXPECT_GE(default_threads(), 1u);
+  ::setenv("SHAREDRES_THREADS", "abc", 1);
+  EXPECT_GE(default_threads(), 1u);
+  ::setenv("SHAREDRES_THREADS", "4x", 1);
+  EXPECT_GE(default_threads(), 1u);
+
+  if (old) {
+    ::setenv("SHAREDRES_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("SHAREDRES_THREADS");
+  }
 }
 
 }  // namespace

@@ -148,5 +148,30 @@ TEST(SosEngine, RejectsSingleMachine) {
   EXPECT_THROW((void)core::schedule_sos(inst), std::invalid_argument);
 }
 
+TEST(SosEngine, ObserverDoesNotChangeEmittedSchedule) {
+  // run() reuses its planned-step scratch and moves share vectors into the
+  // schedule when no observer is attached; with an observer it must copy
+  // instead. Either path has to emit the exact same blocks.
+  {
+    const Instance inst = small_instance();
+    core::RecordingObserver observer;
+    EXPECT_EQ(core::schedule_sos(inst, {.observer = &observer}),
+              core::schedule_sos(inst));
+  }
+  for (const std::string& family : workloads::instance_families()) {
+    workloads::SosConfig cfg;
+    cfg.machines = 6;
+    cfg.capacity = 10'000;
+    cfg.jobs = 300;
+    cfg.max_size = 4;
+    cfg.seed = 5;
+    const Instance inst = workloads::make_instance(family, cfg);
+    core::RecordingObserver observer;
+    ASSERT_EQ(core::schedule_sos(inst, {.observer = &observer}),
+              core::schedule_sos(inst))
+        << family;
+  }
+}
+
 }  // namespace
 }  // namespace sharedres

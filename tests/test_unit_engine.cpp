@@ -124,6 +124,68 @@ TEST(UnitEngine, ObserverCoversEveryStep) {
   EXPECT_EQ(covered, s.makespan());
 }
 
+TEST(UnitEngine, StepwiseMatchesFastForwardAtScale) {
+  // Property sweep at sizes where the resumable window-walk cursor
+  // (DESIGN.md §4) is exercised thousands of times: the full schedule —
+  // every block, not just the makespan — must be bit-identical between the
+  // stepwise and fast-forward drivers across all families and machine
+  // counts, including the front-accumulation workload built to stress the
+  // cursor (every window light, every step a full completion).
+  for (const int m : {2, 4, 8}) {
+    for (const std::uint64_t seed : {1u, 7u}) {
+      workloads::SosConfig cfg;
+      cfg.machines = m;
+      cfg.capacity = 10'000;
+      cfg.jobs = 2'000;
+      cfg.max_size = 1;
+      cfg.seed = seed;
+      for (const std::string& family : workloads::instance_families()) {
+        const Instance inst = workloads::make_instance(family, cfg);
+        ASSERT_EQ(core::schedule_sos_unit(inst, {.fast_forward = true}),
+                  core::schedule_sos_unit(inst, {.fast_forward = false}))
+            << family << " m=" << m << " seed=" << seed;
+      }
+      const Instance adv = workloads::front_accumulation_instance(cfg);
+      ASSERT_EQ(core::schedule_sos_unit(adv, {.fast_forward = true}),
+                core::schedule_sos_unit(adv, {.fast_forward = false}))
+          << "front_accumulation m=" << m << " seed=" << seed;
+    }
+  }
+}
+
+TEST(UnitEngine, FrontAccumulationSchedulesValidAtLargerSize) {
+  // One larger cursor-stressing run through the validator: n jobs in
+  // windows of m, every step a full completion.
+  workloads::SosConfig cfg;
+  cfg.machines = 4;
+  cfg.capacity = 1'000'000;
+  cfg.jobs = 10'000;
+  cfg.seed = 42;
+  const Instance inst = workloads::front_accumulation_instance(cfg);
+  const core::Schedule s = core::schedule_sos_unit(inst);
+  const auto check = core::validate(inst, s);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GE(s.makespan(), core::lower_bounds(inst).combined());
+}
+
+TEST(UnitEngine, ObserverDoesNotChangeEmittedSchedule) {
+  // run() takes a move-emission shortcut when no observer is attached; the
+  // emitted blocks must not depend on which path was taken.
+  workloads::SosConfig cfg;
+  cfg.machines = 4;
+  cfg.capacity = 10'000;
+  cfg.jobs = 500;
+  cfg.max_size = 1;
+  cfg.seed = 3;
+  for (const std::string& family : workloads::instance_families()) {
+    const Instance inst = workloads::make_instance(family, cfg);
+    core::RecordingObserver observer;
+    ASSERT_EQ(core::schedule_sos_unit(inst, {.observer = &observer}),
+              core::schedule_sos_unit(inst))
+        << family;
+  }
+}
+
 TEST(UnitEngine, RejectsNonUnitSizes) {
   const Instance inst(3, 10, {Job{2, 3}});
   EXPECT_THROW((void)core::schedule_sos_unit(inst), std::invalid_argument);
