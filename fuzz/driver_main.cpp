@@ -1,0 +1,61 @@
+// Standalone corpus driver for the fuzz harnesses.
+//
+// The harnesses export the libFuzzer entry point LLVMFuzzerTestOneInput.
+// When built WITH -fsanitize=fuzzer, libFuzzer supplies main() and mutates
+// inputs; this file supplies main() for every other build (any compiler),
+// replaying each file passed on the command line — or every regular file in
+// a directory argument — through the harness exactly once. That keeps the
+// seed corpus exercised by the regular test suite on toolchains without
+// libFuzzer, and gives `fuzz_x_runner crash-1234` for reproducing findings.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      // Sort for deterministic replay order across filesystems.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) {
+        failures += run_file(f);
+        ++ran;
+      }
+    } else {
+      failures += run_file(arg);
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "replayed %zu input(s), %d unreadable\n", ran, failures);
+  return failures == 0 ? 0 : 1;
+}

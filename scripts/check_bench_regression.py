@@ -25,16 +25,23 @@ Schema validation (always on, regression gates or not):
   * timings include the harness's "total" entry.
 
 Exit status: 0 = all checks passed, 1 = regression or schema violation,
-2 = usage/IO error.
+2 = usage/IO error (missing directories, unreadable or invalid files).
+Every IO failure is a one-line diagnostic on stderr, never a traceback.
 
 Usage:
   check_bench_regression.py --baseline DIR --current DIR
                             [--threshold X] [--min-seconds S] [--strict]
+                            [--allow-missing-baseline]
 
   --threshold X    relative gate, default 3.0
   --min-seconds S  absolute gate in seconds, default 0.05
   --strict         also fail when a baseline timing label is missing from
                    the current run (default: warn)
+  --allow-missing-baseline
+                   a missing or empty baseline directory downgrades to a
+                   warning: the current artifacts are still schema-validated,
+                   but no regression comparison runs (first CI run on a new
+                   branch, or a fresh machine without recorded baselines)
 """
 
 from __future__ import annotations
@@ -54,12 +61,16 @@ def load_artifacts(directory: pathlib.Path) -> dict[str, dict]:
     """Read every BENCH_*.json in `directory`, keyed by file name."""
     artifacts = {}
     for path in sorted(directory.glob("BENCH_*.json")):
-        with open(path, "r", encoding="utf-8") as fh:
-            try:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
                 artifacts[path.name] = json.load(fh)
-            except json.JSONDecodeError as exc:
-                print(f"error: {path}: invalid JSON: {exc}", file=sys.stderr)
-                raise SystemExit(2)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        except json.JSONDecodeError as exc:
+            print(f"error: {path}: invalid JSON: {exc}", file=sys.stderr)
+            raise SystemExit(2)
     return artifacts
 
 
@@ -128,18 +139,30 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=3.0)
     parser.add_argument("--min-seconds", type=float, default=0.05)
     parser.add_argument("--strict", action="store_true")
+    parser.add_argument("--allow-missing-baseline", action="store_true")
     args = parser.parse_args()
 
     if not args.current.is_dir():
         print(f"error: current directory {args.current} does not exist",
               file=sys.stderr)
         return 2
-    if not args.baseline.is_dir():
-        print(f"error: baseline directory {args.baseline} does not exist",
+
+    baseline: dict[str, dict] = {}
+    if args.baseline.is_dir():
+        baseline = load_artifacts(args.baseline)
+    elif not args.allow_missing_baseline:
+        print(f"error: baseline directory {args.baseline} does not exist "
+              f"(pass --allow-missing-baseline to schema-check only)",
+              file=sys.stderr)
+        return 2
+    if not baseline and args.allow_missing_baseline:
+        print(f"warning: no baseline artifacts under {args.baseline}; "
+              f"schema-checking current run only")
+    elif not baseline:
+        print(f"error: no BENCH_*.json files in {args.baseline}",
               file=sys.stderr)
         return 2
 
-    baseline = load_artifacts(args.baseline)
     current = load_artifacts(args.current)
     if not current:
         print(f"error: no BENCH_*.json files in {args.current}",

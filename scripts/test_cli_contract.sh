@@ -1,0 +1,118 @@
+#!/bin/sh
+# Exit-code contract test for sharedres_cli:
+#   0 ok | 1 infeasible | 2 usage | 3 input error
+# plus the `validate --json` output shape. Run by ctest as
+# `test_cli_contract.sh <path-to-sharedres_cli>`; any mismatch fails the test.
+set -u
+
+CLI=$1
+tmp=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+expect() { # description expected_exit actual_exit
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1: expected exit $2, got $3"
+    fail=1
+  else
+    echo "ok: $1 (exit $3)"
+  fi
+}
+
+# ---- usage errors -> 2 -----------------------------------------------------
+"$CLI" >/dev/null 2>&1
+expect "no command" 2 $?
+
+"$CLI" frobnicate >/dev/null 2>&1
+expect "unknown command" 2 $?
+
+"$CLI" solve >/dev/null 2>&1
+expect "solve without --instance" 2 $?
+
+"$CLI" validate --instance=only.txt >/dev/null 2>&1
+expect "validate without --schedule" 2 $?
+
+"$CLI" gen --machines=abc >/dev/null 2>&1
+expect "non-numeric --machines" 2 $?
+
+"$CLI" gen --machines=99999999999999999999 >/dev/null 2>&1
+expect "overflowing --machines" 2 $?
+
+"$CLI" solve --instance=x --algorithm=nope >/dev/null 2>&1
+expect "unknown --algorithm" 2 $?
+
+# ---- input errors -> 3 -----------------------------------------------------
+"$CLI" solve --instance="$tmp/definitely-missing.txt" >/dev/null 2>&1
+expect "missing instance file" 3 $?
+
+printf 'not a sharedres file\n' > "$tmp/garbage.txt"
+"$CLI" solve --instance="$tmp/garbage.txt" >/dev/null 2>&1
+expect "malformed instance file" 3 $?
+
+printf '# sharedres instance v1\nmachines 2\ncapacity 99999999999999999999\njobs 0\n' \
+  > "$tmp/overflow.txt"
+"$CLI" bounds --instance="$tmp/overflow.txt" >/dev/null 2>&1
+expect "out-of-range number in instance" 3 $?
+
+printf '# sharedres instance v1\nmachines 0\ncapacity 10\njobs 0\n' \
+  > "$tmp/badsem.txt"
+"$CLI" bounds --instance="$tmp/badsem.txt" >/dev/null 2>&1
+expect "semantically invalid instance" 3 $?
+
+# ---- ok -> 0 ---------------------------------------------------------------
+"$CLI" gen --family=uniform --machines=4 --jobs=20 --seed=7 \
+  --out="$tmp/inst.txt" >/dev/null 2>&1
+expect "gen" 0 $?
+
+"$CLI" solve --instance="$tmp/inst.txt" --out="$tmp/sched.txt" >/dev/null 2>&1
+expect "solve" 0 $?
+
+"$CLI" validate --instance="$tmp/inst.txt" --schedule="$tmp/sched.txt" \
+  >/dev/null 2>&1
+expect "validate feasible" 0 $?
+
+"$CLI" validate --instance="$tmp/inst.txt" --schedule="$tmp/sched.txt" \
+  --json > "$tmp/ok.json" 2>/dev/null
+expect "validate feasible --json" 0 $?
+grep -q '"ok": true' "$tmp/ok.json" || {
+  echo 'FAIL: feasible --json output lacks "ok": true'
+  fail=1
+}
+grep -q '"makespan"' "$tmp/ok.json" || {
+  echo 'FAIL: feasible --json output lacks "makespan"'
+  fail=1
+}
+
+# ---- infeasible -> 1 -------------------------------------------------------
+printf '# sharedres instance v1\nmachines 2\ncapacity 10\njobs 1\njob 2 4\n' \
+  > "$tmp/one.txt"
+printf '# sharedres schedule v1\nblocks 1\nblock 1 1 0:6\n' \
+  > "$tmp/bad-sched.txt"
+"$CLI" validate --instance="$tmp/one.txt" --schedule="$tmp/bad-sched.txt" \
+  >/dev/null 2>&1
+expect "validate infeasible" 1 $?
+
+"$CLI" validate --instance="$tmp/one.txt" --schedule="$tmp/bad-sched.txt" \
+  --json > "$tmp/bad.json" 2>/dev/null
+expect "validate infeasible --json" 1 $?
+grep -q '"ok": false' "$tmp/bad.json" || {
+  echo 'FAIL: infeasible --json output lacks "ok": false'
+  fail=1
+}
+grep -q '"code": "share_above_requirement"' "$tmp/bad.json" || {
+  echo 'FAIL: infeasible --json output lacks the violation code'
+  fail=1
+}
+
+# ---- env-var fail-point activation (only in failpoint-enabled builds) ------
+SHAREDRES_FAILPOINTS='io.next_line=throw@2' \
+  "$CLI" bounds --instance="$tmp/inst.txt" >/dev/null 2>&1
+rc=$?
+if [ "$rc" -eq 3 ] || [ "$rc" -eq 0 ]; then
+  echo "ok: env fail point (exit $rc; 0 means compiled out)"
+else
+  echo "FAIL: env fail point: expected exit 3 (or 0 when compiled out), got $rc"
+  fail=1
+fi
+
+exit $fail

@@ -4,16 +4,22 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace sharedres::core {
 
 Instance::Instance(int machines, Res capacity, std::vector<Job> jobs)
     : machines_(machines), capacity_(capacity), jobs_(std::move(jobs)) {
-  if (machines_ < 1) throw std::invalid_argument("Instance: machines < 1");
-  if (capacity_ < 1) throw std::invalid_argument("Instance: capacity < 1");
-  for (const Job& j : jobs_) {
-    if (j.size < 1) throw std::invalid_argument("Instance: job size < 1");
-    if (j.requirement < 1) {
-      throw std::invalid_argument("Instance: job requirement < 1");
+  if (machines_ < 1) throw util::Error::invalid_instance("machines < 1");
+  if (capacity_ < 1) throw util::Error::invalid_instance("capacity < 1");
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (jobs_[j].size < 1) {
+      throw util::Error::invalid_instance("job " + std::to_string(j) +
+                                          ": size < 1");
+    }
+    if (jobs_[j].requirement < 1) {
+      throw util::Error::invalid_instance("job " + std::to_string(j) +
+                                          ": requirement < 1");
     }
   }
 

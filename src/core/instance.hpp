@@ -18,9 +18,11 @@ namespace sharedres::core {
 /// (r_j > 1 in the paper's normalization, as allowed by the bin-packing view).
 class Instance {
  public:
-  /// Validates and normalizes. Throws std::invalid_argument on: m < 1,
-  /// capacity < 1, empty job list allowed (trivial instance), any job with
-  /// size < 1 or requirement < 1.
+  /// Validates and normalizes. Throws util::Error (code kInvalidInstance)
+  /// on: m < 1, capacity < 1, any job with size < 1 or requirement < 1; an
+  /// empty job list is allowed (trivial instance). Totals are computed with
+  /// checked arithmetic, so adversarial magnitudes surface as
+  /// util::OverflowError instead of wrapping.
   Instance(int machines, Res capacity, std::vector<Job> jobs);
 
   [[nodiscard]] int machines() const { return machines_; }

@@ -14,6 +14,20 @@ void Schedule::append(Time length, std::vector<Assignment> assignments) {
   makespan_ += length;
 }
 
+Schedule::Mark Schedule::mark() const {
+  return {blocks_.size(), makespan_,
+          blocks_.empty() ? Time{0} : blocks_.back().length};
+}
+
+void Schedule::rollback(const Mark& m) {
+  if (m.blocks > blocks_.size()) {
+    throw std::invalid_argument("Schedule::rollback: mark is from the future");
+  }
+  blocks_.resize(m.blocks);
+  if (!blocks_.empty()) blocks_.back().length = m.last_length;
+  makespan_ = m.makespan;
+}
+
 void Schedule::for_each_block(
     const std::function<void(Time, const Block&)>& fn) const {
   Time t = 1;

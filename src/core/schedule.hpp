@@ -44,6 +44,19 @@ class Schedule {
   /// run loop appends without intermediate regrowth).
   void reserve_blocks(std::size_t blocks) { blocks_.reserve(blocks); }
 
+  /// Snapshot for exception-safe incremental building. Engines take a Mark
+  /// on entry to run() and roll back to it if a step throws, so a schedule
+  /// never exposes a partially-emitted suffix (strong exception guarantee).
+  struct Mark {
+    std::size_t blocks = 0;
+    Time makespan = 0;
+    Time last_length = 0;  ///< pre-mark length of the last block (merge undo)
+  };
+  [[nodiscard]] Mark mark() const;
+  /// Discard every block appended after `m` — including length that merging
+  /// appends added to the last pre-mark block.
+  void rollback(const Mark& m);
+
   [[nodiscard]] Time makespan() const { return makespan_; }
   [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
   [[nodiscard]] bool empty() const { return blocks_.empty(); }

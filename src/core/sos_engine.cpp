@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
+
 namespace sharedres::core {
 
 namespace {
@@ -330,7 +332,25 @@ void SosEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
   PlannedStep planned;
   PlannedStep again;
   out.reserve_blocks(remaining_jobs_ / (params_.window_cap + 1) + 1);
+  // Strong exception guarantee for `out`: if any step throws (overflow,
+  // invariant breach, injected fault), every block this run() appended —
+  // including length merged into a pre-existing block — is rolled back, so
+  // no partially-emitted schedule is observable. The engine itself is left
+  // in an unspecified state; callers recover by constructing a fresh engine.
+  const Schedule::Mark mark = out.mark();
+  try {
+    run_loop(out, fast_forward, observer, planned, again);
+  } catch (...) {
+    out.rollback(mark);
+    throw;
+  }
+}
+
+void SosEngine::run_loop(Schedule& out, bool fast_forward,
+                         StepObserver* observer, PlannedStep& planned,
+                         PlannedStep& again) {
   while (!done()) {
+    SHAREDRES_FAILPOINT("sos_engine.step");
     prepare_step();
     plan_into(planned);
     const Time first_step = now_ + 1;

@@ -87,7 +87,9 @@ class SosEngine {
 
   /// Run to completion, appending blocks to `out` and notifying `observer`
   /// (may be null). With fast_forward, runs of identical steps are emitted as
-  /// single blocks.
+  /// single blocks. Strong exception guarantee for `out`: if a step throws,
+  /// `out` is rolled back to its state at entry; the engine itself is then in
+  /// an unspecified (destroy-only) state.
   void run(Schedule& out, bool fast_forward = true,
            StepObserver* observer = nullptr);
 
@@ -112,6 +114,8 @@ class SosEngine {
   void add_right(JobId j);
   void finish_job(JobId j);
   StepInfo make_info(const PlannedStep& planned, Time first_step) const;
+  void run_loop(Schedule& out, bool fast_forward, StepObserver* observer,
+                PlannedStep& planned, PlannedStep& again);
 
   const Instance* inst_;
   Params params_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
+
 namespace sharedres::core {
 
 namespace {
@@ -189,7 +191,20 @@ StepInfo UnitEngine::step() { return execute(build_window()); }
 
 void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
   out.reserve_blocks(remaining_jobs_ / m_ + 1);
+  // Strong exception guarantee for `out`; see SosEngine::run.
+  const Schedule::Mark mark = out.mark();
+  try {
+    run_loop(out, fast_forward, observer);
+  } catch (...) {
+    out.rollback(mark);
+    throw;
+  }
+}
+
+void UnitEngine::run_loop(Schedule& out, bool fast_forward,
+                          StepObserver* observer) {
   while (!done()) {
+    SHAREDRES_FAILPOINT("unit_engine.step");
     const StepPlan plan = build_window();
 
     // Fast-forward: a solo window whose job absorbs the whole capacity

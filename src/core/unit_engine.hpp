@@ -34,7 +34,9 @@ class UnitEngine {
   StepInfo step();
 
   /// Run to completion. fast_forward collapses the long solo runs of a
-  /// single high-requirement job into one block.
+  /// single high-requirement job into one block. Strong exception guarantee
+  /// for `out`: if a step throws, `out` is rolled back to its state at
+  /// entry; the engine itself is then in an unspecified (destroy-only) state.
   void run(Schedule& out, bool fast_forward = true,
            StepObserver* observer = nullptr);
 
@@ -54,6 +56,7 @@ class UnitEngine {
   };
 
   [[nodiscard]] Res key(JobId j) const { return rem_[j]; }
+  void run_loop(Schedule& out, bool fast_forward, StepObserver* observer);
   [[nodiscard]] StepPlan build_window() const;
   StepInfo execute(const StepPlan& plan);
   void unlink(JobId j);

@@ -7,13 +7,49 @@
 
 namespace sharedres::core {
 
+const char* to_string(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kNonPositiveBlockLength: return "non_positive_block_length";
+    case ViolationCode::kTooManyJobs: return "too_many_jobs";
+    case ViolationCode::kInvalidJobId: return "invalid_job_id";
+    case ViolationCode::kNonPositiveShare: return "non_positive_share";
+    case ViolationCode::kShareAboveRequirement: return "share_above_requirement";
+    case ViolationCode::kShareAboveCapacity: return "share_above_capacity";
+    case ViolationCode::kDuplicateJob: return "duplicate_job";
+    case ViolationCode::kPreemption: return "preemption";
+    case ViolationCode::kResourceOveruse: return "resource_overuse";
+    case ViolationCode::kCreditMismatch: return "credit_mismatch";
+    case ViolationCode::kCreditOverflow: return "credit_overflow";
+  }
+  return "?";
+}
+
 namespace {
 
-ValidationResult fail(const std::string& msg) { return {false, msg}; }
+/// Bounded violation sink shared by both validation modes.
+class Sink {
+ public:
+  explicit Sink(std::size_t cap) : cap_(cap) {}
 
-}  // namespace
+  /// Record a violation; returns false once the report is full (callers
+  /// stop scanning — adversarial schedules cannot force unbounded output).
+  bool add(Violation v) {
+    out_.push_back(std::move(v));
+    return out_.size() < cap_;
+  }
 
-ValidationResult validate(const Instance& instance, const Schedule& schedule) {
+  [[nodiscard]] std::vector<Violation>& violations() { return out_; }
+
+ private:
+  std::size_t cap_;
+  std::vector<Violation> out_;
+};
+
+/// One pass over the schedule, recording violations into `sink`. The scan
+/// continues past defects (skipping only bookkeeping the defect makes
+/// meaningless, e.g. credit for an invalid job id) so one run attributes
+/// every independent problem.
+void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
   const std::size_t n = instance.size();
   const Res capacity = instance.capacity();
   const auto m = static_cast<std::size_t>(instance.machines());
@@ -23,65 +59,173 @@ ValidationResult validate(const Instance& instance, const Schedule& schedule) {
   std::vector<std::size_t> first_block(n, kUnseen);
   std::vector<std::size_t> last_block(n, kUnseen);
   std::vector<Res> credit(n, 0);
+  std::vector<bool> credit_overflowed(n, false);
 
   const auto& blocks = schedule.blocks();
+  Time step = 1;  // 1-based first step of the current block
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     const Block& b = blocks[bi];
-    if (b.length <= 0) return fail("block with non-positive length");
+    if (b.length <= 0) {
+      if (!sink.add({ViolationCode::kNonPositiveBlockLength, step, bi, kNoJob,
+                     -1, "block with non-positive length"})) {
+        return;
+      }
+    }
     if (b.assignments.size() > m) {
       std::ostringstream os;
       os << "block " << bi << " runs " << b.assignments.size() << " jobs > m="
          << m;
-      return fail(os.str());
+      if (!sink.add({ViolationCode::kTooManyJobs, step, bi, kNoJob, -1,
+                     os.str()})) {
+        return;
+      }
     }
     Res used = 0;
-    for (const Assignment& a : b.assignments) {
-      if (a.job >= n) return fail("assignment with invalid job id");
+    bool used_overflowed = false;
+    for (std::size_t slot = 0; slot < b.assignments.size(); ++slot) {
+      const Assignment& a = b.assignments[slot];
+      const int machine = static_cast<int>(slot);
+      if (a.job >= n) {
+        if (!sink.add({ViolationCode::kInvalidJobId, step, bi, kNoJob, machine,
+                       "assignment with invalid job id"})) {
+          return;
+        }
+        continue;  // no job to attribute shares or credit to
+      }
       const Job& job = instance.job(a.job);
-      if (a.share <= 0) return fail("assignment with non-positive share");
+      if (a.share <= 0) {
+        if (!sink.add({ViolationCode::kNonPositiveShare, step, bi, a.job,
+                       machine, "assignment with non-positive share"})) {
+          return;
+        }
+      }
       if (a.share > job.requirement) {
         std::ostringstream os;
         os << "job " << a.job << " granted share " << a.share
            << " above its requirement " << job.requirement;
-        return fail(os.str());
+        if (!sink.add({ViolationCode::kShareAboveRequirement, step, bi, a.job,
+                       machine, os.str()})) {
+          return;
+        }
       }
-      if (a.share > capacity) return fail("share exceeds resource capacity");
-      used = util::add_checked(used, a.share);
+      if (a.share > capacity) {
+        if (!sink.add({ViolationCode::kShareAboveCapacity, step, bi, a.job,
+                       machine, "share exceeds resource capacity"})) {
+          return;
+        }
+      }
+      try {
+        used = util::add_checked(used, a.share);
+      } catch (const util::OverflowError&) {
+        used_overflowed = true;
+      }
 
       if (first_block[a.job] == kUnseen) {
         first_block[a.job] = bi;
       } else if (last_block[a.job] == bi) {
         std::ostringstream os;
         os << "job " << a.job << " scheduled twice in block " << bi;
-        return fail(os.str());
+        if (!sink.add({ViolationCode::kDuplicateJob, step, bi, a.job, machine,
+                       os.str()})) {
+          return;
+        }
       } else if (last_block[a.job] != bi - 1) {
         std::ostringstream os;
         os << "job " << a.job << " preempted: runs in blocks "
            << last_block[a.job] << " and " << bi << " but not in between";
-        return fail(os.str());
+        if (!sink.add({ViolationCode::kPreemption, step, bi, a.job, machine,
+                       os.str()})) {
+          return;
+        }
       }
       last_block[a.job] = bi;
-      credit[a.job] = util::add_checked(
-          credit[a.job], util::mul_checked(a.share, b.length));
+      try {
+        credit[a.job] = util::add_checked(
+            credit[a.job], util::mul_checked(a.share, b.length));
+      } catch (const util::OverflowError&) {
+        credit_overflowed[a.job] = true;
+      }
     }
-    if (used > capacity) {
+    if (used_overflowed || used > capacity) {
       std::ostringstream os;
-      os << "block " << bi << " overuses the resource: " << used << " > "
-         << capacity;
-      return fail(os.str());
+      if (used_overflowed) {
+        os << "block " << bi << " overuses the resource: share sum overflows "
+           << "64 bits (capacity " << capacity << ")";
+      } else {
+        os << "block " << bi << " overuses the resource: " << used << " > "
+           << capacity;
+      }
+      if (!sink.add({ViolationCode::kResourceOveruse, step, bi, kNoJob, -1,
+                     os.str()})) {
+        return;
+      }
     }
+    step += std::max<Time>(b.length, 0);
   }
 
   for (JobId j = 0; j < n; ++j) {
+    if (credit_overflowed[j]) {
+      std::ostringstream os;
+      os << "job " << j << " credit bookkeeping overflows 64 bits";
+      if (!sink.add({ViolationCode::kCreditOverflow, 0,
+                     static_cast<std::size_t>(-1), j, -1, os.str()})) {
+        return;
+      }
+      continue;
+    }
     const Res need = instance.job(j).total_requirement();
     if (credit[j] != need) {
       std::ostringstream os;
       os << "job " << j << " credited " << credit[j] << " units, needs exactly "
          << need;
-      return fail(os.str());
+      if (!sink.add({ViolationCode::kCreditMismatch, 0,
+                     static_cast<std::size_t>(-1), j, -1, os.str()})) {
+        return;
+      }
     }
   }
-  return {};
+}
+
+}  // namespace
+
+ValidationResult validate(const Instance& instance, const Schedule& schedule) {
+  Sink sink(1);
+  scan(instance, schedule, sink);
+  if (sink.violations().empty()) return {};
+  return {false, sink.violations().front().detail};
+}
+
+ValidationReport validate_all(const Instance& instance,
+                              const Schedule& schedule,
+                              std::size_t max_violations) {
+  Sink sink(std::max<std::size_t>(max_violations, 1));
+  scan(instance, schedule, sink);
+  return ValidationReport{std::move(sink.violations())};
+}
+
+util::Json to_json(const ValidationReport& report) {
+  util::Json violations{util::Json::Array{}};
+  for (const Violation& v : report.violations) {
+    util::Json entry{util::Json::Object{}};
+    entry.emplace("code", to_string(v.code));
+    entry.emplace("step", v.step);
+    entry.emplace("block", v.block == static_cast<std::size_t>(-1)
+                               ? util::Json(nullptr)
+                               : util::Json(static_cast<util::i64>(v.block)));
+    entry.emplace("job", v.job == kNoJob
+                             ? util::Json(nullptr)
+                             : util::Json(static_cast<util::i64>(v.job)));
+    entry.emplace("machine",
+                  v.machine < 0 ? util::Json(nullptr) : util::Json(v.machine));
+    entry.emplace("detail", v.detail);
+    violations.push_back(std::move(entry));
+  }
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("ok", report.ok());
+  doc.emplace("violation_count",
+              static_cast<util::i64>(report.violations.size()));
+  doc.emplace("violations", std::move(violations));
+  return doc;
 }
 
 void validate_or_throw(const Instance& instance, const Schedule& schedule) {

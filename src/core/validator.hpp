@@ -10,14 +10,55 @@
 //  (V5) exact completion: each job is credited precisely s_j = p_j · r_j
 //       resource units (schedules must cap shares at the remaining
 //       requirement, so completion is equality, not ≥).
+//
+// Two modes: validate() stops at the first violation (cheap yes/no for
+// engines and tests); validate_all() collects structured Violation records
+// for every defect it can attribute, for diagnostics and the CLI's
+// `validate --json` output.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "util/json.hpp"
 
 namespace sharedres::core {
+
+/// Machine-readable classification of a feasibility defect. Stable names
+/// (see to_string) are emitted in JSON diagnostics.
+enum class ViolationCode {
+  kNonPositiveBlockLength,   ///< block with length <= 0
+  kTooManyJobs,              ///< block runs more than m jobs (V2)
+  kInvalidJobId,             ///< assignment names a job outside the instance (V1)
+  kNonPositiveShare,         ///< share <= 0 (V1)
+  kShareAboveRequirement,    ///< share > r_j (V1)
+  kShareAboveCapacity,       ///< share > C (V1)
+  kDuplicateJob,             ///< job scheduled twice in one block (V2)
+  kPreemption,               ///< job's presence interval not contiguous (V4)
+  kResourceOveruse,          ///< Σ shares > C in a block (V3)
+  kCreditMismatch,           ///< credited units != p_j · r_j (V5)
+  kCreditOverflow,           ///< credit bookkeeping overflowed 64 bits
+};
+
+/// Stable lower-snake name for a ViolationCode ("resource_overuse", ...).
+[[nodiscard]] const char* to_string(ViolationCode code);
+
+/// One structured defect. `step` is the 1-based first time step of the
+/// offending block (0 for instance-level defects such as credit mismatch);
+/// `block` is the block index; `job`/`machine` are the offending job id and
+/// the assignment slot within the block (kNoJob / -1 when not applicable —
+/// machines are identical, so the slot index is the machine a renaming
+/// argument would assign).
+struct Violation {
+  ViolationCode code;
+  Time step = 0;
+  std::size_t block = static_cast<std::size_t>(-1);
+  JobId job = kNoJob;
+  int machine = -1;
+  std::string detail;  ///< human-readable specifics (numbers, bounds)
+};
 
 struct ValidationResult {
   bool ok = true;
@@ -26,9 +67,30 @@ struct ValidationResult {
   explicit operator bool() const { return ok; }
 };
 
+/// Full diagnostic report: every violation validate_all() could attribute,
+/// in schedule order (instance-level credit checks last).
+struct ValidationReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  explicit operator bool() const { return ok(); }
+};
+
 /// Validate `schedule` against `instance`. Runs in O(total assignments).
 [[nodiscard]] ValidationResult validate(const Instance& instance,
                                         const Schedule& schedule);
+
+/// Collect-all mode: keeps scanning after a defect so one pass reports every
+/// attributable violation (capped at `max_violations` to bound adversarial
+/// output). Runs in O(total assignments).
+[[nodiscard]] ValidationReport validate_all(
+    const Instance& instance, const Schedule& schedule,
+    std::size_t max_violations = 1024);
+
+/// JSON shape consumed by `sharedres_cli validate --json`:
+/// {"ok": bool, "violation_count": N, "violations": [{code, step, block,
+///  job, machine, detail}, ...]} — job/machine are null when inapplicable.
+[[nodiscard]] util::Json to_json(const ValidationReport& report);
 
 /// Convenience for tests: throws std::logic_error with the violation message.
 void validate_or_throw(const Instance& instance, const Schedule& schedule);

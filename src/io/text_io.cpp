@@ -1,54 +1,81 @@
 #include "io/text_io.hpp"
 
+#include <cctype>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace sharedres::io {
 
 namespace {
 
-/// Line-oriented tokenizer with position-aware errors.
+/// A whitespace-delimited token plus its 1-based column in the source line.
+struct Token {
+  std::string text;
+  int column = 0;
+};
+
+/// Line-oriented tokenizer with position-aware (line, column) errors.
 class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
 
   /// Next non-blank, non-comment line split into tokens; empty at EOF.
-  std::vector<std::string> next_line() {
+  std::vector<Token> next_line() {
+    SHAREDRES_FAILPOINT("io.next_line");
     std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
-      std::istringstream ls(line);
-      std::vector<std::string> tokens;
-      std::string tok;
-      while (ls >> tok) tokens.push_back(tok);
-      if (tokens.empty() || tokens[0][0] == '#') continue;
+      std::vector<Token> tokens;
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        const std::size_t start = i;
+        while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i > start) {
+          tokens.push_back(
+              {line.substr(start, i - start), static_cast<int>(start) + 1});
+        }
+      }
+      if (tokens.empty() || tokens[0].text[0] == '#') continue;
       return tokens;
     }
     return {};
   }
 
-  [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("parse error at line " + std::to_string(line_no_) +
-                             ": " + msg);
+  [[noreturn]] void fail(const std::string& msg) const { fail_at(0, msg); }
+
+  [[noreturn]] void fail_at(int column, const std::string& msg) const {
+    throw util::Error::parse(line_no_, column, msg);
   }
 
-  util::i64 to_int(const std::string& tok) const {
+  util::i64 to_int(const Token& tok) const {
+    return to_int_at(tok.text, tok.column);
+  }
+
+  /// Parse a full integer token; `column` points at its first character.
+  util::i64 to_int_at(const std::string& text, int column) const {
     try {
       std::size_t pos = 0;
-      const util::i64 value = std::stoll(tok, &pos);
-      if (pos != tok.size()) fail("trailing characters in number '" + tok + "'");
+      const util::i64 value = std::stoll(text, &pos);
+      if (pos != text.size()) {
+        fail_at(column, "trailing characters in number '" + text + "'");
+      }
       return value;
-    } catch (const std::logic_error&) {
-      fail("expected a number, got '" + tok + "'");
+    } catch (const std::out_of_range&) {
+      fail_at(column, "number out of 64-bit range: '" + text + "'");
+    } catch (const std::invalid_argument&) {
+      fail_at(column, "expected a number, got '" + text + "'");
     }
   }
 
   /// Expect `key <value>` and return the value.
   util::i64 expect_kv(const std::string& key) {
     const auto tokens = next_line();
-    if (tokens.size() != 2 || tokens[0] != key) {
+    if (tokens.size() != 2 || tokens[0].text != key) {
       fail("expected '" + key + " <value>'");
     }
     return to_int(tokens[1]);
@@ -93,7 +120,7 @@ core::Instance read_instance(std::istream& is) {
   jobs.reserve(static_cast<std::size_t>(n));
   for (util::i64 i = 0; i < n; ++i) {
     const auto tokens = r.next_line();
-    if (tokens.size() != 3 || tokens[0] != "job") {
+    if (tokens.size() != 3 || tokens[0].text != "job") {
       r.fail("expected 'job <size> <requirement>'");
     }
     jobs.push_back(core::Job{r.to_int(tokens[1]), r.to_int(tokens[2])});
@@ -120,7 +147,7 @@ core::Schedule read_schedule(std::istream& is) {
   core::Schedule schedule;
   for (util::i64 b = 0; b < blocks; ++b) {
     const auto tokens = r.next_line();
-    if (tokens.size() < 3 || tokens[0] != "block") {
+    if (tokens.size() < 3 || tokens[0].text != "block") {
       r.fail("expected 'block <len> <k> job:share ...'");
     }
     const core::Time len = r.to_int(tokens[1]);
@@ -132,11 +159,15 @@ core::Schedule read_schedule(std::istream& is) {
     std::vector<core::Assignment> assignments;
     assignments.reserve(static_cast<std::size_t>(k));
     for (std::size_t t = 3; t < tokens.size(); ++t) {
-      const auto colon = tokens[t].find(':');
-      if (colon == std::string::npos) r.fail("expected 'job:share'");
+      const auto colon = tokens[t].text.find(':');
+      if (colon == std::string::npos) {
+        r.fail_at(tokens[t].column, "expected 'job:share'");
+      }
       assignments.push_back(core::Assignment{
-          static_cast<core::JobId>(r.to_int(tokens[t].substr(0, colon))),
-          r.to_int(tokens[t].substr(colon + 1))});
+          static_cast<core::JobId>(r.to_int_at(tokens[t].text.substr(0, colon),
+                                               tokens[t].column)),
+          r.to_int_at(tokens[t].text.substr(colon + 1),
+                      tokens[t].column + static_cast<int>(colon) + 1)});
     }
     schedule.append(len, std::move(assignments));
   }
@@ -164,7 +195,7 @@ sas::SasInstance read_sas(std::istream& is) {
   const util::i64 k = r.expect_kv("tasks");
   for (util::i64 i = 0; i < k; ++i) {
     const auto tokens = r.next_line();
-    if (tokens.size() < 2 || tokens[0] != "task") {
+    if (tokens.size() < 2 || tokens[0].text != "task") {
       r.fail("expected 'task <r1> <r2> ...'");
     }
     sas::Task task;
@@ -195,7 +226,9 @@ binpack::PackingInstance read_packing_instance(std::istream& is) {
   const util::i64 n = r.expect_kv("items");
   for (util::i64 i = 0; i < n; ++i) {
     const auto tokens = r.next_line();
-    if (tokens.size() != 2 || tokens[0] != "item") r.fail("expected 'item <w>'");
+    if (tokens.size() != 2 || tokens[0].text != "item") {
+      r.fail("expected 'item <w>'");
+    }
     instance.items.push_back(r.to_int(tokens[1]));
   }
   instance.validate_input();
@@ -222,7 +255,7 @@ binpack::Packing read_packing(std::istream& is) {
   packing.bins.reserve(static_cast<std::size_t>(bins));
   for (util::i64 b = 0; b < bins; ++b) {
     const auto tokens = r.next_line();
-    if (tokens.size() < 2 || tokens[0] != "bin") {
+    if (tokens.size() < 2 || tokens[0].text != "bin") {
       r.fail("expected 'bin <k> item:amount ...'");
     }
     const util::i64 k = r.to_int(tokens[1]);
@@ -232,11 +265,15 @@ binpack::Packing read_packing(std::istream& is) {
     std::vector<binpack::ItemPart> bin;
     bin.reserve(static_cast<std::size_t>(k));
     for (std::size_t t = 2; t < tokens.size(); ++t) {
-      const auto colon = tokens[t].find(':');
-      if (colon == std::string::npos) r.fail("expected 'item:amount'");
+      const auto colon = tokens[t].text.find(':');
+      if (colon == std::string::npos) {
+        r.fail_at(tokens[t].column, "expected 'item:amount'");
+      }
       bin.push_back(binpack::ItemPart{
-          static_cast<std::size_t>(r.to_int(tokens[t].substr(0, colon))),
-          r.to_int(tokens[t].substr(colon + 1))});
+          static_cast<std::size_t>(r.to_int_at(
+              tokens[t].text.substr(0, colon), tokens[t].column)),
+          r.to_int_at(tokens[t].text.substr(colon + 1),
+                      tokens[t].column + static_cast<int>(colon) + 1)});
     }
     packing.bins.push_back(std::move(bin));
   }
@@ -263,7 +300,7 @@ online::OnlineInstance read_online(std::istream& is) {
   const util::i64 n = r.expect_kv("jobs");
   for (util::i64 i = 0; i < n; ++i) {
     const auto tokens = r.next_line();
-    if (tokens.size() != 4 || tokens[0] != "job") {
+    if (tokens.size() != 4 || tokens[0].text != "job") {
       r.fail("expected 'job <release> <size> <requirement>'");
     }
     instance.jobs.push_back(online::OnlineJob{
@@ -278,13 +315,14 @@ namespace {
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) throw util::Error::io("cannot open for writing: " + path);
   return os;
 }
 
 std::ifstream open_in(const std::string& path) {
+  SHAREDRES_FAILPOINT("io.open_in");
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  if (!is) throw util::Error::io("cannot open for reading: " + path);
   return is;
 }
 

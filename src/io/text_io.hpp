@@ -20,8 +20,9 @@
 // `job p r` lists size then requirement; `task r1 r2 ...` lists the unit
 // jobs' requirements; `block len k  job:share ...` lists len identical
 // steps. Blank lines and lines starting with '#' are ignored (except the
-// mandatory header). Readers throw std::runtime_error with a line number on
-// malformed input.
+// mandatory header). Readers throw util::Error (code kParse) carrying the
+// 1-based line and column of the offending token; file wrappers throw
+// util::Error (code kIo) when a path cannot be opened.
 #pragma once
 
 #include <iosfwd>

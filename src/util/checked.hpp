@@ -44,12 +44,17 @@ constexpr i64 add_checked(i64 a, i64 b) {
   return static_cast<i64>(s);
 }
 
-/// ⌈a / b⌉ for a ≥ 0, b > 0.
+/// ⌈a / b⌉. PRECONDITION: a ≥ 0, b > 0 (all callers divide non-negative
+/// totals by positive capacities/requirements). Outside the precondition the
+/// result follows C++ truncating division and is NOT a ceiling for a < 0;
+/// b = 0 is UB. Callers must validate, this helper does not.
 constexpr i64 ceil_div(i64 a, i64 b) {
   return a / b + (a % b != 0 ? 1 : 0);
 }
 
-/// ⌊a / b⌋ for a ≥ 0, b > 0 (plain division, named for symmetry).
+/// ⌊a / b⌋. Same precondition as ceil_div (a ≥ 0, b > 0); within it plain
+/// division already floors, which is the only reason this is not a
+/// round-toward-negative-infinity implementation.
 constexpr i64 floor_div(i64 a, i64 b) { return a / b; }
 
 /// Least common multiple with overflow checking.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace sharedres::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -36,10 +38,16 @@ std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   try {
-    return std::stoll(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects an integer, got '" +
-                                it->second + "'");
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw Error::cli(key, "expects an integer, got '" + it->second + "'");
+    }
+    return value;
+  } catch (const std::out_of_range&) {
+    throw Error::cli(key, "integer out of 64-bit range: '" + it->second + "'");
+  } catch (const std::invalid_argument&) {
+    throw Error::cli(key, "expects an integer, got '" + it->second + "'");
   }
 }
 
@@ -48,10 +56,16 @@ double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects a number, got '" +
-                                it->second + "'");
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw Error::cli(key, "expects a number, got '" + it->second + "'");
+    }
+    return value;
+  } catch (const std::out_of_range&) {
+    throw Error::cli(key, "number out of double range: '" + it->second + "'");
+  } catch (const std::invalid_argument&) {
+    throw Error::cli(key, "expects a number, got '" + it->second + "'");
   }
 }
 

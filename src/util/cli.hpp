@@ -1,6 +1,8 @@
 // Minimal command-line parser for example/bench binaries.
 //
 // Accepts `--key=value` and `--flag` arguments; anything else is a positional.
+// get_int/get_double reject partial parses ("--machines=8x") and overflowing
+// values with a util::Error (code kCliUsage) naming the offending flag.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,83 @@
+#include "util/error.hpp"
+
+namespace sharedres::util {
+
+namespace {
+
+std::string format(ErrorCode code, const SourceLocation& where,
+                   const std::string& flag, const std::string& message) {
+  std::string out;
+  if (!flag.empty()) {
+    out = "--" + flag + ": " + message;
+  } else if (where.line > 0) {
+    out = "parse error";
+    if (!where.file.empty()) out += " in " + where.file;
+    out += " at line " + std::to_string(where.line);
+    if (where.column > 0) out += ", column " + std::to_string(where.column);
+    out += ": " + message;
+  } else {
+    switch (code) {
+      case ErrorCode::kIo: out = "io error: " + message; break;
+      case ErrorCode::kInvalidInstance:
+        out = "invalid instance: " + message;
+        break;
+      default: out = message; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCliUsage: return "cli_usage";
+    case ErrorCode::kInvalidInstance: return "invalid_instance";
+    case ErrorCode::kOverflow: return "overflow";
+    case ErrorCode::kInjectedFault: return "injected_fault";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+Error::Error(ErrorCode code, const std::string& message)
+    : std::runtime_error(format(code, {}, {}, message)),
+      code_(code),
+      message_(message) {}
+
+Error::Error(ErrorCode code, const SourceLocation& where,
+             const std::string& message)
+    : std::runtime_error(format(code, where, {}, message)),
+      code_(code),
+      where_(where),
+      message_(message) {}
+
+Error Error::parse(int line, int column, const std::string& message,
+                   const std::string& file) {
+  return Error(ErrorCode::kParse, SourceLocation{file, line, column}, message);
+}
+
+Error Error::io(const std::string& message) {
+  return Error(ErrorCode::kIo, message);
+}
+
+Error Error::cli(const std::string& flag, const std::string& message) {
+  Error out(ErrorCode::kCliUsage, "--" + flag + ": " + message);
+  out.flag_ = flag;
+  out.message_ = message;
+  return out;
+}
+
+Error Error::invalid_instance(const std::string& message) {
+  return Error(ErrorCode::kInvalidInstance, message);
+}
+
+Error Error::injected(const std::string& site, unsigned long long hit) {
+  return Error(ErrorCode::kInjectedFault, "injected fault at '" + site +
+                                              "' (hit " + std::to_string(hit) +
+                                              ")");
+}
+
+}  // namespace sharedres::util

@@ -1,0 +1,81 @@
+// Typed diagnostics for every untrusted-input surface.
+//
+// All ingestion paths (text files, JSON artifacts, CLI flags, instance
+// construction) report failures through a single exception type carrying a
+// machine-readable ErrorCode plus the precise origin of the problem: a
+// file/line/column triple for parsers, a flag name for CLI errors. Callers
+// that only want a message keep catching std::runtime_error; callers that
+// route exit codes or JSON diagnostics switch on code().
+//
+// The what() string is pre-formatted from the structured fields, so the
+// human-readable message and the machine-readable record can never drift
+// apart. See DESIGN.md §8 for the error-model contract.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sharedres::util {
+
+/// Coarse failure taxonomy. Stable — the CLI exit-code contract and the
+/// fail-point/fuzz tooling switch on these values.
+enum class ErrorCode {
+  kParse,            ///< malformed text/JSON input (has line/column)
+  kIo,               ///< file open/read/write failure
+  kCliUsage,         ///< bad command-line flag (has flag name)
+  kInvalidInstance,  ///< semantically invalid problem instance
+  kOverflow,         ///< checked 64-bit arithmetic overflowed
+  kInjectedFault,    ///< thrown by an armed fail point (tests only)
+  kInternal,         ///< broken internal invariant (a bug, not bad input)
+};
+
+/// Stable lower-snake name for an ErrorCode ("parse", "cli_usage", ...).
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// Where in the input a parse error was detected. line/column are 1-based;
+/// 0 means "not applicable" (e.g. a byte-offset-only JSON parser reports
+/// column = offset + 1 with line 0 meaning "offset within the document").
+struct SourceLocation {
+  std::string file;  ///< path or stream label; may be empty
+  int line = 0;
+  int column = 0;
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message);
+  Error(ErrorCode code, const SourceLocation& where, const std::string& message);
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  /// Parse origin; line == 0 when the error has no location.
+  [[nodiscard]] const SourceLocation& where() const { return where_; }
+  /// Offending CLI flag (without leading "--"); empty for non-CLI errors.
+  [[nodiscard]] const std::string& flag() const { return flag_; }
+  /// The message without the location/flag prefix baked into what().
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  // ---- factories (the preferred spelling at throw sites) ----
+
+  /// "parse error at line L, column C: <message>".
+  [[nodiscard]] static Error parse(int line, int column,
+                                   const std::string& message,
+                                   const std::string& file = {});
+  /// "io error: <message>".
+  [[nodiscard]] static Error io(const std::string& message);
+  /// "--<flag>: <message>".
+  [[nodiscard]] static Error cli(const std::string& flag,
+                                 const std::string& message);
+  /// "invalid instance: <message>".
+  [[nodiscard]] static Error invalid_instance(const std::string& message);
+  /// "injected fault at '<site>' (hit N)".
+  [[nodiscard]] static Error injected(const std::string& site,
+                                      unsigned long long hit);
+
+ private:
+  ErrorCode code_;
+  SourceLocation where_;
+  std::string flag_;
+  std::string message_;
+};
+
+}  // namespace sharedres::util

@@ -1,0 +1,154 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace sharedres::util::failpoint {
+
+namespace {
+
+struct Site {
+  bool armed = false;
+  std::uint64_t after = 0;  ///< throw when hits reaches this value
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+  std::once_flag env_once;
+  // Fast-path gate: number of tracked sites. hit() bails on zero without
+  // taking the lock, so disabled builds-with-failpoints stay cheap.
+  std::atomic<std::uint64_t> tracked{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Parse "site=throw@k,site2=throw" into arm() calls. Malformed entries are
+/// ignored (an env typo must never crash the host process).
+void load_env_locked(Registry& r) {
+  const char* env = std::getenv("SHAREDRES_FAILPOINTS");
+  if (env == nullptr) return;
+  const std::string spec(env);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string site = entry.substr(0, eq);
+    const std::string action = entry.substr(eq + 1);
+    std::uint64_t after = 1;
+    if (action.rfind("throw@", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long k =
+          std::strtoull(action.c_str() + 6, &end, 10);
+      if (end == action.c_str() + 6 || *end != '\0' || k == 0) continue;
+      after = k;
+    } else if (action != "throw") {
+      continue;
+    }
+    Site& s = r.sites[site];
+    if (!s.armed) r.tracked.fetch_add(1, std::memory_order_relaxed);
+    s.armed = true;
+    s.after = after;
+    s.hits = 0;
+  }
+}
+
+void ensure_env_loaded(Registry& r) {
+  std::call_once(r.env_once, [&r] {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    load_env_locked(r);
+  });
+}
+
+Site& track_locked(Registry& r, const std::string& site) {
+  const auto [it, inserted] = r.sites.try_emplace(site);
+  if (inserted) r.tracked.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+}  // namespace
+
+bool compiled_in() {
+#if defined(SHAREDRES_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void arm(const std::string& site, std::uint64_t after) {
+  if (after == 0) after = 1;
+  Registry& r = registry();
+  ensure_env_loaded(r);
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  Site& s = track_locked(r, site);
+  s.armed = true;
+  s.after = after;
+  s.hits = 0;
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  ensure_env_loaded(r);
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  track_locked(r, site).armed = false;
+}
+
+void reset() {
+  Registry& r = registry();
+  // Consume the env config so it cannot re-arm sites after an explicit reset.
+  std::call_once(r.env_once, [] {});
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  r.tracked.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  Registry& r = registry();
+  ensure_env_loaded(r);
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return track_locked(r, site).hits;
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& r = registry();
+  ensure_env_loaded(r);
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> out;
+  for (const auto& [name, site] : r.sites) {
+    if (site.armed) out.push_back(name);
+  }
+  return out;
+}
+
+void hit(const char* site) {
+  Registry& r = registry();
+  ensure_env_loaded(r);
+  if (r.tracked.load(std::memory_order_relaxed) == 0) return;
+  std::uint64_t fired_hit = 0;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end()) return;
+    Site& s = it->second;
+    ++s.hits;
+    if (!s.armed || s.hits < s.after) return;
+    s.armed = false;  // one-shot: recovery paths re-execute sites freely
+    fired_hit = s.hits;
+  }
+  throw Error::injected(site, fired_hit);
+}
+
+}  // namespace sharedres::util::failpoint

@@ -1,0 +1,57 @@
+// Deterministic fault injection for exception-safety tests.
+//
+// A fail point is a named site in library code that can be armed to throw a
+// typed util::Error (code kInjectedFault) on its k-th execution. Sites are
+// compiled in only when SHAREDRES_FAILPOINTS_ENABLED is defined (the
+// SHAREDRES_FAILPOINTS CMake option, ON by default except in Release
+// builds); otherwise SHAREDRES_FAILPOINT expands to nothing and the hot
+// paths carry zero overhead.
+//
+// Activation, either:
+//   * test API:  util::failpoint::arm("sos_engine.step", 3);
+//   * env var:   SHAREDRES_FAILPOINTS="sos_engine.step=throw@3,io.read=throw"
+//                (parsed once, on first use; "=throw" means "=throw@1").
+//
+// The site catalog lives in DESIGN.md §8. Sites sit on untrusted-input and
+// mid-run paths: text IO readers, util::parallel workers, and both engines'
+// step loops — the places where a throw must not corrupt observable state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(SHAREDRES_FAILPOINTS_ENABLED)
+#define SHAREDRES_FAILPOINT(site) ::sharedres::util::failpoint::hit(site)
+#else
+#define SHAREDRES_FAILPOINT(site) ((void)0)
+#endif
+
+namespace sharedres::util::failpoint {
+
+/// True when fail points are compiled into this build.
+[[nodiscard]] bool compiled_in();
+
+/// Arm `site` to throw on its `after`-th hit from now (after >= 1; 1 means
+/// "the very next execution"). Re-arming resets the site's hit counter.
+void arm(const std::string& site, std::uint64_t after = 1);
+
+/// Disarm `site`; its hit counter keeps counting.
+void disarm(const std::string& site);
+
+/// Disarm everything and forget all counters (also forgets the env config,
+/// which will NOT be re-read — tests own the registry after reset()).
+void reset();
+
+/// Executions of `site` observed since it was first armed/queried.
+[[nodiscard]] std::uint64_t hit_count(const std::string& site);
+
+/// Currently armed site names (for diagnostics).
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+/// Called by the SHAREDRES_FAILPOINT macro. Cheap when nothing is armed or
+/// tracked (one relaxed atomic load). Throws util::Error(kInjectedFault)
+/// when `site` is armed and this is its `after`-th hit.
+void hit(const char* site);
+
+}  // namespace sharedres::util::failpoint

@@ -16,12 +16,16 @@
 #include <utility>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace sharedres::util {
 
-/// Thrown by Json::parse on malformed input (message includes the offset).
-class JsonError : public std::runtime_error {
+/// Thrown by Json::parse on malformed input (message includes the offset)
+/// and by type-mismatched accessors. A util::Error with code kParse, so the
+/// CLI's input-error exit path and catch(std::runtime_error) both see it.
+class JsonError : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit JsonError(const std::string& what) : Error(ErrorCode::kParse, what) {}
 };
 
 class Json {

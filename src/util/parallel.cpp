@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/failpoint.hpp"
+
 namespace sharedres::util {
 
 std::size_t default_threads(std::size_t max_threads) {
@@ -47,6 +49,7 @@ void parallel_chunks(std::size_t count,
 
   auto worker = [&](std::size_t t) {
     try {
+      SHAREDRES_FAILPOINT("parallel.worker");
       const std::size_t begin = static_total * t / workers;
       const std::size_t end = static_total * (t + 1) / workers;
       if (begin < end) body(ctx, begin, end);

@@ -3,10 +3,13 @@
 // and the Eq. (1) lower bounds.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/instance.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/schedule.hpp"
 #include "core/validator.hpp"
+#include "util/error.hpp"
 
 namespace sharedres {
 namespace {
@@ -32,10 +35,18 @@ TEST(Instance, SortsByRequirementStably) {
 }
 
 TEST(Instance, RejectsMalformedInput) {
-  EXPECT_THROW(Instance(0, 10, {}), std::invalid_argument);
-  EXPECT_THROW(Instance(2, 0, {}), std::invalid_argument);
-  EXPECT_THROW(Instance(2, 10, {Job{0, 1}}), std::invalid_argument);
-  EXPECT_THROW(Instance(2, 10, {Job{1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Instance(0, 10, {}), util::Error);
+  EXPECT_THROW(Instance(2, 0, {}), util::Error);
+  EXPECT_THROW(Instance(2, 10, {Job{0, 1}}), util::Error);
+  EXPECT_THROW(Instance(2, 10, {Job{1, 0}}), util::Error);
+  try {
+    Instance(2, 10, {Job{1, 5}, Job{1, 0}});
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidInstance);
+    // The message names the offending job by constructor index.
+    EXPECT_NE(std::string(e.what()).find("job 1"), std::string::npos);
+  }
 }
 
 TEST(Schedule, AppendsAndMergesIdenticalBlocks) {

@@ -4,9 +4,11 @@
 
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "util/checked.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/prng.hpp"
 #include "util/rational.hpp"
 #include "util/stats.hpp"
@@ -24,10 +26,26 @@ TEST(Checked, MulDetectsOverflow) {
                OverflowError);
 }
 
+TEST(Checked, MulExactLimitsPass) {
+  // The extreme representable products themselves are fine; one past throws.
+  EXPECT_EQ(mul_checked(std::numeric_limits<i64>::max(), 1),
+            std::numeric_limits<i64>::max());
+  EXPECT_EQ(mul_checked(std::numeric_limits<i64>::min(), 1),
+            std::numeric_limits<i64>::min());
+  EXPECT_EQ(mul_checked(std::numeric_limits<i64>::max(), -1),
+            std::numeric_limits<i64>::min() + 1);
+}
+
 TEST(Checked, AddDetectsOverflow) {
   EXPECT_EQ(add_checked(5, -9), -4);
   EXPECT_THROW((void)add_checked(std::numeric_limits<i64>::max(), 1),
                OverflowError);
+  EXPECT_THROW((void)add_checked(std::numeric_limits<i64>::min(), -1),
+               OverflowError);
+  EXPECT_EQ(add_checked(std::numeric_limits<i64>::max(), 0),
+            std::numeric_limits<i64>::max());
+  EXPECT_EQ(add_checked(std::numeric_limits<i64>::min(), 0),
+            std::numeric_limits<i64>::min());
 }
 
 TEST(Checked, CeilAndFloorDiv) {
@@ -35,12 +53,31 @@ TEST(Checked, CeilAndFloorDiv) {
   EXPECT_EQ(ceil_div(9, 3), 3);
   EXPECT_EQ(ceil_div(0, 5), 0);
   EXPECT_EQ(floor_div(10, 3), 3);
+  // At the representable extreme the helpers stay exact (no internal +b).
+  EXPECT_EQ(ceil_div(std::numeric_limits<i64>::max(), 1),
+            std::numeric_limits<i64>::max());
+  EXPECT_EQ(ceil_div(std::numeric_limits<i64>::max(),
+                     std::numeric_limits<i64>::max()),
+            1);
+  EXPECT_EQ(floor_div(std::numeric_limits<i64>::max(), 2),
+            std::numeric_limits<i64>::max() / 2);
+  // Documented: outside the a >= 0 precondition the result is truncating
+  // division, NOT a ceiling/floor. Pin that so a "fix" is a conscious choice.
+  EXPECT_EQ(ceil_div(-7, 2), -2);   // true ceiling of -3.5 is -3
+  EXPECT_EQ(floor_div(-7, 2), -3);  // true floor of -3.5 is -4
 }
 
 TEST(Checked, Lcm) {
   EXPECT_EQ(lcm_checked(4, 6), 12);
   EXPECT_EQ(lcm_checked(7, 13), 91);
   EXPECT_EQ(lcm_checked(0, 5), 0);
+  EXPECT_EQ(lcm_checked(5, 0), 0);
+  EXPECT_EQ(lcm_checked(0, 0), 0);
+  // lcm of coprime near-max values cannot be represented.
+  EXPECT_THROW(
+      (void)lcm_checked(std::numeric_limits<i64>::max(),
+                        std::numeric_limits<i64>::max() - 1),
+      OverflowError);
 }
 
 TEST(Rational, NormalizationAndEquality) {
@@ -223,10 +260,32 @@ TEST(Cli, ParsesFlagsAndValues) {
 TEST(Cli, ReportsUnusedKeysAndBadNumbers) {
   const char* argv[] = {"prog", "--typo=1", "--n=abc"};
   const Cli cli(3, argv);
-  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCliUsage);
+    EXPECT_EQ(e.flag(), "n");
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
   const auto unused = cli.unused_keys();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, RejectsTrailingGarbageAndOverflow) {
+  const char* argv[] = {"prog", "--n=12x", "--big=99999999999999999999",
+                        "--d=1.5e1q"};
+  const Cli cli(4, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), Error);
+  try {
+    (void)cli.get_int("big", 0);
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCliUsage);
+    EXPECT_NE(std::string(e.what()).find("64-bit"), std::string::npos);
+  }
+  EXPECT_THROW((void)cli.get_double("d", 0.0), Error);
 }
 
 }  // namespace

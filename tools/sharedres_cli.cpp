@@ -6,12 +6,20 @@
 //   sharedres_cli solve    --instance=inst.txt
 //                          [--algorithm=window|unit|gg|equalsplit|sequential]
 //                          [--out=sched.txt] [--gantt]
-//   sharedres_cli validate --instance=inst.txt --schedule=sched.txt
+//   sharedres_cli validate --instance=inst.txt --schedule=sched.txt [--json]
 //   sharedres_cli bounds   --instance=inst.txt
 //
 // `gen` writes a reproducible instance; `solve` schedules it, reports the
 // makespan against the Eq. (1) lower bound and optionally dumps the
-// schedule and an ASCII Gantt chart; `validate` re-checks a schedule file.
+// schedule and an ASCII Gantt chart; `validate` re-checks a schedule file
+// (with --json it prints every violation as a structured record).
+//
+// Exit-code contract (stable; scripts and CI depend on it):
+//   0  success / feasible schedule
+//   1  infeasible schedule, invalid packing, or internal failure
+//   2  usage error (unknown command, bad flag value, missing required flag)
+//   3  input error (unreadable file, parse error, semantically invalid
+//      instance, arithmetic overflow caused by input magnitudes)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,11 +39,18 @@
 #include "sim/svg.hpp"
 #include "sim/assignment.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "workloads/sos_generators.hpp"
 
 namespace {
 
 using namespace sharedres;
+
+// The documented exit-code contract (see header comment and README).
+constexpr int kExitOk = 0;
+constexpr int kExitInfeasible = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
 
 int usage() {
   std::cerr
@@ -43,12 +58,13 @@ int usage() {
          "  gen      --family=... --machines=M --jobs=N [--out=f]\n"
          "  solve    --instance=f [--algorithm=window|unit|gg|equalsplit|"
          "sequential] [--gantt] [--stats] [--svg=f.svg] [--out=f]\n"
-         "  validate --instance=f --schedule=f\n"
+         "  validate --instance=f --schedule=f [--json] [--max-violations=N]\n"
          "  bounds   --instance=f\n"
          "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
          "nfd|ffd|pairing] [--out=f]\n"
-         "  sas      --instance=<sas file> [--weights=w1,w2,...]\n";
-  return 2;
+         "  sas      --instance=<sas file> [--weights=w1,w2,...]\n"
+         "exit codes: 0 ok | 1 infeasible | 2 usage | 3 input error\n";
+  return kExitUsage;
 }
 
 int cmd_gen(const util::Cli& cli) {
@@ -67,17 +83,24 @@ int cmd_gen(const util::Cli& cli) {
     io::save_instance(out, inst);
     std::cout << "wrote " << inst.size() << " jobs to " << out << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_solve(const util::Cli& cli) {
   const std::string path = cli.get("instance", "");
   if (path.empty()) {
     std::cerr << "solve: --instance=<file> required\n";
-    return 2;
+    return kExitUsage;
+  }
+  // Validate flags before touching the filesystem: a typo in --algorithm is
+  // a usage error (exit 2) even when the instance file is also bad.
+  const std::string algorithm = cli.get("algorithm", "window");
+  if (algorithm != "window" && algorithm != "unit" && algorithm != "gg" &&
+      algorithm != "equalsplit" && algorithm != "sequential") {
+    std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
+    return kExitUsage;
   }
   const core::Instance inst = io::load_instance(path);
-  const std::string algorithm = cli.get("algorithm", "window");
 
   core::Schedule schedule;
   if (algorithm == "window") {
@@ -92,14 +115,14 @@ int cmd_solve(const util::Cli& cli) {
     schedule = baselines::schedule_sequential(inst);
   } else {
     std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
-    return 2;
+    return kExitUsage;
   }
 
   const auto check = core::validate(inst, schedule);
   if (!check.ok) {
     std::cerr << "internal error: produced invalid schedule: " << check.error
               << "\n";
-    return 1;
+    return kExitInfeasible;
   }
   const core::LowerBounds lb = core::lower_bounds(inst);
   std::cout << "algorithm:    " << algorithm << "\n"
@@ -130,7 +153,7 @@ int cmd_solve(const util::Cli& cli) {
     io::save_schedule(out, schedule);
     std::cout << "schedule written to " << out << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_validate(const util::Cli& cli) {
@@ -138,25 +161,36 @@ int cmd_validate(const util::Cli& cli) {
   const std::string sched_path = cli.get("schedule", "");
   if (inst_path.empty() || sched_path.empty()) {
     std::cerr << "validate: --instance=<file> --schedule=<file> required\n";
-    return 2;
+    return kExitUsage;
   }
+  const bool json = cli.has("json");
+  const auto max_violations =
+      static_cast<std::size_t>(cli.get_int("max-violations", 1024));
   const core::Instance inst = io::load_instance(inst_path);
   const core::Schedule schedule = io::load_schedule(sched_path);
+  if (json) {
+    core::ValidationReport report =
+        core::validate_all(inst, schedule, max_violations);
+    util::Json doc = core::to_json(report);
+    doc.emplace("makespan", schedule.makespan());
+    std::cout << doc.dump(2) << "\n";
+    return report.ok() ? kExitOk : kExitInfeasible;
+  }
   const auto check = core::validate(inst, schedule);
   if (check.ok) {
     std::cout << "OK: feasible schedule, makespan " << schedule.makespan()
               << "\n";
-    return 0;
+    return kExitOk;
   }
   std::cout << "INVALID: " << check.error << "\n";
-  return 1;
+  return kExitInfeasible;
 }
 
 int cmd_bounds(const util::Cli& cli) {
   const std::string path = cli.get("instance", "");
   if (path.empty()) {
     std::cerr << "bounds: --instance=<file> required\n";
-    return 2;
+    return kExitUsage;
   }
   const core::Instance inst = io::load_instance(path);
   const core::LowerBounds lb = core::lower_bounds(inst);
@@ -168,19 +202,19 @@ int cmd_bounds(const util::Cli& cli) {
     std::cout << "Theorem 3.3 ratio:      "
               << core::sos_ratio_bound(inst.machines()).to_double() << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_pack(const util::Cli& cli) {
   const std::string path = cli.get("instance", "");
   if (path.empty()) {
     std::cerr << "pack: --instance=<packing file> required\n";
-    return 2;
+    return kExitUsage;
   }
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
-    return 1;
+    return kExitInput;
   }
   const binpack::PackingInstance inst = io::read_packing_instance(in);
   const std::string algorithm = cli.get("algorithm", "window");
@@ -198,12 +232,12 @@ int cmd_pack(const util::Cli& cli) {
     packing = binpack::pairing_packing(inst);
   } else {
     std::cerr << "pack: unknown --algorithm=" << algorithm << "\n";
-    return 2;
+    return kExitUsage;
   }
   const auto check = binpack::validate(inst, packing);
   if (!check.ok) {
     std::cerr << "internal error: invalid packing: " << check.error << "\n";
-    return 1;
+    return kExitInfeasible;
   }
   const auto lb = binpack::packing_lower_bounds(inst);
   std::cout << "algorithm:    " << algorithm << "\n"
@@ -220,12 +254,12 @@ int cmd_pack(const util::Cli& cli) {
     std::ofstream os(out);
     if (!os) {
       std::cerr << "cannot open " << out << "\n";
-      return 1;
+      return kExitInput;
     }
     io::write_packing(os, packing);
     std::cout << "packing written to " << out << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 std::vector<core::Res> parse_weights(const std::string& spec) {
@@ -233,7 +267,17 @@ std::vector<core::Res> parse_weights(const std::string& spec) {
   std::stringstream ss(spec);
   std::string tok;
   while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) weights.push_back(std::stoll(tok));
+    if (tok.empty()) continue;
+    try {
+      std::size_t pos = 0;
+      const core::Res w = std::stoll(tok, &pos);
+      if (pos != tok.size()) {
+        throw util::Error::cli("weights", "bad weight '" + tok + "'");
+      }
+      weights.push_back(w);
+    } catch (const std::logic_error&) {
+      throw util::Error::cli("weights", "bad weight '" + tok + "'");
+    }
   }
   return weights;
 }
@@ -242,12 +286,12 @@ int cmd_sas(const util::Cli& cli) {
   const std::string path = cli.get("instance", "");
   if (path.empty()) {
     std::cerr << "sas: --instance=<sas file> required\n";
-    return 2;
+    return kExitUsage;
   }
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
-    return 1;
+    return kExitInput;
   }
   const sas::SasInstance inst = io::read_sas(in);
   const std::string weight_spec = cli.get("weights", "");
@@ -262,7 +306,7 @@ int cmd_sas(const util::Cli& cli) {
   if (!check.ok) {
     std::cerr << "internal error: invalid SAS schedule: " << check.error
               << "\n";
-    return 1;
+    return kExitInfeasible;
   }
   std::cout << "tasks:               " << inst.tasks.size() << "\n"
             << "machines:            " << inst.machines << "\n"
@@ -280,7 +324,7 @@ int cmd_sas(const util::Cli& cli) {
               << ", " << inst.tasks[i].size() << " jobs): finishes at "
               << result.completion[i] << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -296,9 +340,22 @@ int main(int argc, char** argv) {
     if (command == "bounds") return cmd_bounds(cli);
     if (command == "pack") return cmd_pack(cli);
     if (command == "sas") return cmd_sas(cli);
-  } catch (const std::exception& e) {
+  } catch (const util::Error& e) {
+    // The typed code picks the exit bucket: bad flags are usage errors,
+    // everything else a typed throw can signal here came from the input.
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return e.code() == util::ErrorCode::kCliUsage ? kExitUsage : kExitInput;
+  } catch (const util::OverflowError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitInput;
+  } catch (const std::invalid_argument& e) {
+    // Scheduler/generator preconditions (m >= 2, unknown family, ...) are
+    // violated by what the user fed in, not by library bugs.
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitInput;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInfeasible;
   }
   return usage();
 }
