@@ -4,6 +4,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "obs/json_export.hpp"
+#include "obs/registry.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -109,6 +111,11 @@ int Harness::finish() {
     timings.push_back(std::move(jt));
   }
   doc.emplace("timings", std::move(timings));
+
+  // The observability registry at exit. The "deterministic" sub-block is
+  // byte-stable across --threads and reruns; check_bench_regression.py
+  // treats any drift in it as a hard failure.
+  doc.emplace("metrics", obs::to_json(obs::Registry::global()));
 
   const std::string path = json_dir_ + "/BENCH_" + name_ + ".json";
   std::ofstream out(path);

@@ -23,7 +23,8 @@
 //     "timings": [{"label": str, "reps": int,
 //                  "seconds_min": x, "seconds_median": x,
 //                  "seconds_mean": x, "seconds_max": x,
-//                  "items_per_second": x}]   // 0 when not meaningful
+//                  "items_per_second": x}],  // 0 when not meaningful
+//     "metrics":  <obs::to_json(Registry::global())>  // see obs/json_export
 //   }
 // Timings always include a final "total" entry (whole-binary wall time), so
 // the artifact is usable for coarse regression tracking even for benches

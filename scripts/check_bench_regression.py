@@ -24,6 +24,18 @@ Schema validation (always on, regression gates or not):
   * every timing has min <= median <= max and min <= mean <= max,
   * timings include the harness's "total" entry.
 
+Deterministic-metrics gate: when both artifacts embed a "metrics" block
+(bench/harness.cpp, schema_version 1 with obs enabled), the
+metrics["deterministic"] sub-object is compared for EXACT equality. These
+counters are structural facts about the algorithms (steps taken, windows
+rebuilt, blocks emitted, ...) and are bit-identical across thread counts
+and machines by contract — any drift means the algorithm changed, which is
+a hard failure listing every drifted key. An artifact without a metrics
+block (pre-obs baseline) or with obs compiled out only warns, as does a
+current run whose bench invocation (timing labels / rep counts) differs
+from the baseline's: counters scale with the work performed, so they are
+only compared between identical invocations.
+
 Exit status: 0 = all checks passed, 1 = regression or schema violation,
 2 = usage/IO error (missing directories, unreadable or invalid files).
 Every IO failure is a one-line diagnostic on stderr, never a traceback.
@@ -110,6 +122,59 @@ def validate_schema(name: str, doc: dict, errors: list[str]) -> None:
                               f"cells, header has {width}")
 
 
+def flatten_metrics(block: dict) -> dict[str, object]:
+    """Flatten a deterministic metrics block into comparable leaf values."""
+    flat: dict[str, object] = {}
+    for kind in ("counters", "gauges"):
+        for key, value in block.get(kind, {}).items():
+            flat[f"{kind}.{key}"] = value
+    for key, hist in block.get("histograms", {}).items():
+        for field in ("bounds", "counts", "count", "sum"):
+            flat[f"histograms.{key}.{field}"] = hist.get(field)
+    return flat
+
+
+def compare_metrics(name: str, baseline: dict, current: dict,
+                    errors: list[str], warnings: list[str]) -> None:
+    base_m, cur_m = baseline.get("metrics"), current.get("metrics")
+    if base_m is None or cur_m is None:
+        warnings.append(f"{name}: no metrics block in "
+                        f"{'baseline' if base_m is None else 'current'} "
+                        f"artifact; deterministic-metrics gate skipped")
+        return
+    if not (base_m.get("obs_enabled") and cur_m.get("obs_enabled")):
+        warnings.append(f"{name}: observability compiled out; "
+                        f"deterministic-metrics gate skipped")
+        return
+    # Counters accumulate over everything the binary executed, so they are
+    # only comparable when the two runs performed the same work: identical
+    # timing labels (sweep sizes) and identical rep counts. A smoke run with
+    # different --reps/--max-n is a legitimate use of this script and must
+    # not produce false metric regressions.
+    base_inv = {t["label"]: t["reps"] for t in baseline.get("timings", [])}
+    cur_inv = {t["label"]: t["reps"] for t in current.get("timings", [])}
+    if base_inv != cur_inv:
+        warnings.append(
+            f"{name}: bench invocation differs from baseline (timing "
+            f"labels/reps mismatch); deterministic-metrics gate skipped")
+        return
+    base_flat = flatten_metrics(base_m.get("deterministic", {}))
+    cur_flat = flatten_metrics(cur_m.get("deterministic", {}))
+    for key in sorted(base_flat.keys() | cur_flat.keys()):
+        base_v = base_flat.get(key)
+        cur_v = cur_flat.get(key)
+        if base_v == cur_v:
+            continue
+        if base_v is None:
+            # New instrumentation sites appear when code grows; only a
+            # changed or vanished value indicates an algorithm change.
+            warnings.append(f"{name}: new deterministic metric '{key}' "
+                            f"(= {cur_v}) not in baseline")
+        else:
+            errors.append(f"{name}: deterministic metric '{key}' drifted: "
+                          f"baseline {base_v} -> current {cur_v}")
+
+
 def compare(name: str, baseline: dict, current: dict, threshold: float,
             min_seconds: float, strict: bool, errors: list[str],
             warnings: list[str]) -> None:
@@ -186,6 +251,7 @@ def main() -> int:
         compared += 1
         compare(name, base_doc, cur_doc, args.threshold, args.min_seconds,
                 args.strict, errors, warnings)
+        compare_metrics(name, base_doc, cur_doc, errors, warnings)
 
     for msg in warnings:
         print(f"warning: {msg}")

@@ -1,0 +1,65 @@
+# Proves the observability determinism contract through the real binary:
+# `sharedres_cli ... --metrics-json` must emit a byte-identical
+# "deterministic" block regardless of SHAREDRES_THREADS, and identical again
+# on a rerun. Run by ctest as cli_metrics_determinism (label tier1).
+#
+#   usage: test_metrics_determinism.sh <path-to-sharedres_cli>
+#
+# Uses only sh + python3 (for JSON field extraction), both required by the
+# existing scripts/ tooling.
+set -u
+
+CLI=${1:?usage: test_metrics_determinism.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+run() {  # run <threads> <out.json>
+  SHAREDRES_THREADS=$1 "$CLI" solve --instance="$TMP/inst.txt" \
+    --metrics-json="$2" > /dev/null || fail "solve (threads=$1) exited $?"
+}
+
+det_block() {  # det_block <metrics.json> <out.txt>
+  python3 - "$1" "$2" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+with open(sys.argv[2], "w") as out:
+    json.dump(doc["deterministic"], out, indent=1, sort_keys=True)
+EOF
+}
+
+"$CLI" gen --family=bimodal --machines=6 --jobs=400 --seed=42 \
+  --out="$TMP/inst.txt" > /dev/null || fail "gen exited $?"
+
+run 1 "$TMP/m1.json"
+run 8 "$TMP/m8.json"
+run 8 "$TMP/m8_again.json"
+
+det_block "$TMP/m1.json" "$TMP/d1.txt"
+det_block "$TMP/m8.json" "$TMP/d8.txt"
+det_block "$TMP/m8_again.json" "$TMP/d8_again.txt"
+
+cmp -s "$TMP/d1.txt" "$TMP/d8.txt" \
+  || fail "deterministic block differs between SHAREDRES_THREADS=1 and 8"
+cmp -s "$TMP/d8.txt" "$TMP/d8_again.txt" \
+  || fail "deterministic block differs between identical reruns"
+
+# The block must be non-trivial when instrumentation is compiled in; with
+# -DSHAREDRES_OBS=OFF an empty catalog is the documented behavior.
+python3 - "$TMP/m1.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["deterministic"]["counters"]
+if doc["obs_enabled"]:
+    for key in ("engine.sos.steps", "io.instances_read", "validator.runs"):
+        if key not in counters:
+            sys.exit(f"FAIL: obs enabled but counter '{key}' missing")
+elif counters:
+    sys.exit("FAIL: obs disabled but deterministic counters present")
+EOF
+
+echo "PASS: deterministic metrics identical across threads and reruns"

@@ -2,12 +2,16 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace sharedres::core {
 
 void Schedule::append(Time length, std::vector<Assignment> assignments) {
   if (length <= 0) throw std::invalid_argument("Schedule::append: length <= 0");
+  SHAREDRES_OBS_COUNT("schedule.blocks_appended");
   if (!blocks_.empty() && blocks_.back().assignments == assignments) {
     blocks_.back().length += length;
+    SHAREDRES_OBS_COUNT("schedule.block_merges");
   } else {
     blocks_.push_back(Block{length, std::move(assignments)});
   }
@@ -23,6 +27,9 @@ void Schedule::rollback(const Mark& m) {
   if (m.blocks > blocks_.size()) {
     throw std::invalid_argument("Schedule::rollback: mark is from the future");
   }
+  SHAREDRES_OBS_COUNT("schedule.rollbacks");
+  SHAREDRES_OBS_COUNT_N("schedule.rollback_blocks_discarded",
+                        blocks_.size() - m.blocks);
   blocks_.resize(m.blocks);
   if (!blocks_.empty()) blocks_.back().length = m.last_length;
   makespan_ = m.makespan;

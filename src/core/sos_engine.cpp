@@ -4,11 +4,28 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::core {
 
 namespace {
+
+/// True when a planned light-case (Case 2) step satisfies the Theorem 3.3
+/// dichotomy: every window job except at most one (the fractured ι) receives
+/// its full requirement. The Case-2 extra job is not a window member when
+/// the step is planned, so its share is excluded.
+[[maybe_unused]] bool light_step_fulfills_requirements(
+    const SosEngine& engine, const PlannedStep& planned) {
+  std::size_t partial = 0;
+  const std::size_t window_shares =
+      planned.shares.size() - (planned.extra_job ? 1 : 0);
+  for (std::size_t i = 0; i < window_shares; ++i) {
+    const Assignment& a = planned.shares[i];
+    if (a.share != engine.instance().job(a.job).requirement) ++partial;
+  }
+  return partial <= 1;
+}
 
 // Internal invariant check: these fire only on engine bugs, never on user
 // input, but throwing keeps test failures informative.
@@ -163,6 +180,7 @@ void SosEngine::prepare_step() {
   ensure(remaining_jobs_ > 0, "prepare_step after completion");
   // Finished jobs were already dropped from W by finish_job (equivalent to
   // Listing 1 line 2, W ← W ∩ J(t−1)).
+  std::uint64_t hops = 0;
 
   // GrowWindowLeft(W, t, cap, R): note L_t(∅) = ∅, so an empty window skips.
   while (params_.grow_left && wl_ != kNoJob && wsize_ < params_.window_cap &&
@@ -171,6 +189,7 @@ void SosEngine::prepare_step() {
     wl_ = c;
     ++wsize_;
     wreq_ = util::add_checked(wreq_, req(c));
+    ++hops;
   }
 
   // GrowWindowRight(W, t, cap, R): from an empty window, min R_t(∅) is the
@@ -179,6 +198,7 @@ void SosEngine::prepare_step() {
     const JobId c = (wl_ == kNoJob) ? next_[head_] : next_[wr_];
     if (c == tail_) break;
     add_right(c);
+    ++hops;
   }
 
   // MoveWindowRight(W, t, R): slide while the leftmost job is unstarted.
@@ -189,7 +209,9 @@ void SosEngine::prepare_step() {
     wl_ = next_[out];
     wr_ = in;
     wreq_ = util::add_checked(wreq_ - req(out), req(in));
+    ++hops;
   }
+  if (obs::enabled()) stats_.window_hops += hops;
 }
 
 PlannedStep SosEngine::plan() const {
@@ -344,6 +366,26 @@ void SosEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
     out.rollback(mark);
     throw;
   }
+  publish_stats();
+}
+
+void SosEngine::publish_stats() {
+  if (!obs::enabled()) return;
+  SHAREDRES_OBS_COUNT("engine.sos.runs");
+  SHAREDRES_OBS_COUNT_N("engine.sos.window_hops", stats_.window_hops);
+  SHAREDRES_OBS_COUNT_N("engine.sos.blocks", stats_.blocks);
+  SHAREDRES_OBS_COUNT_N("engine.sos.steps", stats_.steps);
+  SHAREDRES_OBS_COUNT_N("engine.sos.case1_steps", stats_.case1_steps);
+  SHAREDRES_OBS_COUNT_N("engine.sos.case2_steps", stats_.case2_steps);
+  SHAREDRES_OBS_COUNT_N("engine.sos.full_requirement_steps",
+                        stats_.full_requirement_steps);
+  SHAREDRES_OBS_COUNT_N("engine.sos.fast_forward_steps",
+                        stats_.fast_forward_steps);
+  SHAREDRES_OBS_COUNT_N("engine.sos.fractured_handoffs",
+                        stats_.fractured_handoffs);
+  SHAREDRES_OBS_COUNT_N("engine.sos.extra_job_starts",
+                        stats_.extra_job_starts);
+  stats_ = {};
 }
 
 void SosEngine::run_loop(Schedule& out, bool fast_forward,
@@ -395,6 +437,27 @@ void SosEngine::run_loop(Schedule& out, bool fast_forward,
         }
       }
     }
+    // Per-block deterministic stats (before the append below may move the
+    // share vector away): structural facts of the emitted schedule,
+    // independent of threads and wall time. Accumulated in plain fields;
+    // publish_stats() flushes once per run.
+    if (obs::enabled()) {
+      const auto ureps = static_cast<std::uint64_t>(reps);
+      ++stats_.blocks;
+      stats_.steps += ureps;
+      if (planned.step_case == StepCase::kHeavy) {
+        stats_.case1_steps += ureps;
+      } else {
+        stats_.case2_steps += ureps;
+        if (light_step_fulfills_requirements(*this, planned)) {
+          stats_.full_requirement_steps += ureps;
+        }
+      }
+      stats_.fast_forward_steps += ureps - 1;
+      if (planned.fractured) ++stats_.fractured_handoffs;
+      if (planned.extra_job) ++stats_.extra_job_starts;
+    }
+
     if (observer != nullptr) {
       info.repeat = reps;
       out.append(reps, planned.shares);

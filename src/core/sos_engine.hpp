@@ -18,6 +18,7 @@
 // pseudo-polynomial reference; both produce identical schedules.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -95,6 +96,7 @@ class SosEngine {
 
   // ---- introspection (tests, instrumentation) ----
 
+  [[nodiscard]] const Instance& instance() const { return *inst_; }
   [[nodiscard]] Res remaining(JobId j) const { return rem_[j]; }
   [[nodiscard]] bool finished(JobId j) const { return rem_[j] == 0; }
   [[nodiscard]] std::vector<JobId> window_members() const;
@@ -116,6 +118,25 @@ class SosEngine {
   StepInfo make_info(const PlannedStep& planned, Time first_step) const;
   void run_loop(Schedule& out, bool fast_forward, StepObserver* observer,
                 PlannedStep& planned, PlannedStep& again);
+  void publish_stats();
+
+  /// Deterministic run statistics (metric catalog: DESIGN.md §9). The hot
+  /// loop accumulates into these plain fields — a register add per event, no
+  /// atomics, no registry lookups — and publish_stats() flushes the totals to
+  /// obs::Registry once per completed run(), keeping the per-block cost of
+  /// instrumentation at noise level. Runs that throw publish nothing (their
+  /// schedule is rolled back too).
+  struct RunStats {
+    std::uint64_t window_hops = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t case1_steps = 0;
+    std::uint64_t case2_steps = 0;
+    std::uint64_t full_requirement_steps = 0;
+    std::uint64_t fast_forward_steps = 0;
+    std::uint64_t fractured_handoffs = 0;
+    std::uint64_t extra_job_starts = 0;
+  };
 
   const Instance* inst_;
   Params params_;
@@ -135,6 +156,7 @@ class SosEngine {
   Time now_ = 0;               // completed time steps
 
   std::vector<JobId> finished_scratch_;  // apply()'s batched finish list
+  RunStats stats_;
 };
 
 }  // namespace sharedres::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::core {
@@ -107,26 +108,35 @@ UnitEngine::StepPlan UnitEngine::build_window() const {
   JobId start;
   if (iota_ != kNoJob) {
     start = iota_;
+    if (obs::enabled()) ++stats_.iota_resumes;
   } else if (cursor_ != kNoJob && cursor_ != head_) {
     start = cursor_;
+    if (obs::enabled()) ++stats_.cursor_resumes;
   } else {
     start = next_[head_];
+    // From-scratch walk (no cursor to resume from). The PR 1 cursor
+    // invariant keeps this O(n) over a whole run — asserted from this
+    // counter by tests/test_sos_properties.cpp.
+    if (obs::enabled()) ++stats_.window_rebuilds;
   }
   plan.wl = plan.wr = start;
   plan.wsize = 1;
   plan.wkey = key(plan.wl);
+  std::uint64_t hops = 0;
 
   // GrowWindowLeft(W, t, m, 1).
   while (plan.wsize < m_ && prev_[plan.wl] != head_ && plan.wkey < capacity_) {
     plan.wl = prev_[plan.wl];
     ++plan.wsize;
     plan.wkey = util::add_checked(plan.wkey, key(plan.wl));
+    ++hops;
   }
   // GrowWindowRight(W, t, m, 1).
   while (plan.wkey < capacity_ && next_[plan.wr] != tail_ && plan.wsize < m_) {
     plan.wr = next_[plan.wr];
     ++plan.wsize;
     plan.wkey = util::add_checked(plan.wkey, key(plan.wr));
+    ++hops;
   }
   // MoveWindowRight(W, t, 1): slide while the leftmost member is unstarted.
   while (plan.wkey < capacity_ && next_[plan.wr] != tail_ && plan.wl != iota_) {
@@ -134,7 +144,9 @@ UnitEngine::StepPlan UnitEngine::build_window() const {
     plan.wl = next_[plan.wl];
     plan.wr = next_[plan.wr];
     plan.wkey = util::add_checked(plan.wkey, key(plan.wr));
+    ++hops;
   }
+  if (obs::enabled()) stats_.walk_hops += hops;
 
   const Res others = plan.wkey - key(plan.wr);
   ensure(others < capacity_, "Property (b) violated by the unit window");
@@ -189,9 +201,54 @@ StepInfo UnitEngine::execute(const StepPlan& plan) {
 
 StepInfo UnitEngine::step() { return execute(build_window()); }
 
+/// Deterministic per-block stats; mirrors the SosEngine catalog under the
+/// engine.unit prefix. In the light case every window job receives its full
+/// *current* key, so at most the started job ι falls short of its static
+/// requirement — the unit-case reading of the Theorem 3.3 dichotomy.
+/// Accumulated in plain fields; publish_stats() flushes once per run.
+void UnitEngine::record_block(const StepInfo& info) {
+  if (!obs::enabled()) return;
+  const auto ureps = static_cast<std::uint64_t>(info.repeat);
+  ++stats_.blocks;
+  stats_.steps += ureps;
+  if (info.step_case == StepCase::kHeavy) {
+    stats_.case1_steps += ureps;
+  } else {
+    stats_.case2_steps += ureps;
+    if (info.window_size - info.full_requirement_jobs <= 1) {
+      stats_.full_requirement_steps += ureps;
+    }
+  }
+  stats_.fast_forward_steps += ureps - 1;
+  if (info.fractured) ++stats_.fractured_handoffs;
+}
+
+void UnitEngine::publish_stats() {
+  if (!obs::enabled()) return;
+  SHAREDRES_OBS_COUNT("engine.unit.runs");
+  SHAREDRES_OBS_COUNT_N("engine.unit.iota_resumes", stats_.iota_resumes);
+  SHAREDRES_OBS_COUNT_N("engine.unit.cursor_resumes", stats_.cursor_resumes);
+  SHAREDRES_OBS_COUNT_N("engine.unit.window_rebuilds", stats_.window_rebuilds);
+  SHAREDRES_OBS_COUNT_N("engine.unit.walk_hops", stats_.walk_hops);
+  SHAREDRES_OBS_COUNT_N("engine.unit.blocks", stats_.blocks);
+  SHAREDRES_OBS_COUNT_N("engine.unit.steps", stats_.steps);
+  SHAREDRES_OBS_COUNT_N("engine.unit.case1_steps", stats_.case1_steps);
+  SHAREDRES_OBS_COUNT_N("engine.unit.case2_steps", stats_.case2_steps);
+  SHAREDRES_OBS_COUNT_N("engine.unit.full_requirement_steps",
+                        stats_.full_requirement_steps);
+  SHAREDRES_OBS_COUNT_N("engine.unit.fast_forward_steps",
+                        stats_.fast_forward_steps);
+  SHAREDRES_OBS_COUNT_N("engine.unit.fast_forward_blocks",
+                        stats_.fast_forward_blocks);
+  SHAREDRES_OBS_COUNT_N("engine.unit.fractured_handoffs",
+                        stats_.fractured_handoffs);
+  stats_ = {};
+}
+
 void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
   out.reserve_blocks(remaining_jobs_ / m_ + 1);
-  // Strong exception guarantee for `out`; see SosEngine::run.
+  // Strong exception guarantee for `out`; see SosEngine::run. Runs that
+  // throw publish no stats either.
   const Schedule::Mark mark = out.mark();
   try {
     run_loop(out, fast_forward, observer);
@@ -199,6 +256,7 @@ void UnitEngine::run(Schedule& out, bool fast_forward, StepObserver* observer) {
     out.rollback(mark);
     throw;
   }
+  publish_stats();
 }
 
 void UnitEngine::run_loop(Schedule& out, bool fast_forward,
@@ -234,6 +292,8 @@ void UnitEngine::run_loop(Schedule& out, bool fast_forward,
         iota_ = j;
         reposition_started(j);
       }
+      if (obs::enabled()) ++stats_.fast_forward_blocks;
+      record_block(info);
       if (observer != nullptr) {
         out.append(reps, info.shares);
         observer->on_step(info);
@@ -244,6 +304,7 @@ void UnitEngine::run_loop(Schedule& out, bool fast_forward,
     }
 
     StepInfo info = execute(plan);
+    record_block(info);
     if (observer != nullptr) {
       out.append(1, info.shares);
       observer->on_step(info);

@@ -13,6 +13,7 @@
 // within the step, the rightmost becomes the new ι.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -59,6 +60,8 @@ class UnitEngine {
   void run_loop(Schedule& out, bool fast_forward, StepObserver* observer);
   [[nodiscard]] StepPlan build_window() const;
   StepInfo execute(const StepPlan& plan);
+  void record_block(const StepInfo& info);
+  void publish_stats();
   void unlink(JobId j);
   void finish(JobId j);
   void reposition_started(JobId j);
@@ -89,6 +92,27 @@ class UnitEngine {
 
   std::size_t remaining_jobs_ = 0;
   Time now_ = 0;
+
+  /// Deterministic run statistics, mirroring SosEngine::RunStats under the
+  /// engine.unit prefix (metric catalog: DESIGN.md §9). Plain fields keep
+  /// the walk/step hot paths free of atomic registry traffic;
+  /// publish_stats() flushes them once per completed run(). Mutable because
+  /// the const window walk (build_window) classifies its own resume mode.
+  struct RunStats {
+    std::uint64_t iota_resumes = 0;
+    std::uint64_t cursor_resumes = 0;
+    std::uint64_t window_rebuilds = 0;
+    std::uint64_t walk_hops = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t case1_steps = 0;
+    std::uint64_t case2_steps = 0;
+    std::uint64_t full_requirement_steps = 0;
+    std::uint64_t fast_forward_steps = 0;
+    std::uint64_t fast_forward_blocks = 0;
+    std::uint64_t fractured_handoffs = 0;
+  };
+  mutable RunStats stats_;
 };
 
 }  // namespace sharedres::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace sharedres::core {
 
 const char* to_string(ViolationCode code) {
@@ -35,14 +37,18 @@ class Sink {
   /// stop scanning — adversarial schedules cannot force unbounded output).
   bool add(Violation v) {
     out_.push_back(std::move(v));
-    return out_.size() < cap_;
+    if (out_.size() < cap_) return true;
+    truncated_ = true;
+    return false;
   }
 
   [[nodiscard]] std::vector<Violation>& violations() { return out_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
  private:
   std::size_t cap_;
   std::vector<Violation> out_;
+  bool truncated_ = false;
 };
 
 /// One pass over the schedule, recording violations into `sink`. The scan
@@ -189,17 +195,22 @@ void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
 }  // namespace
 
 ValidationResult validate(const Instance& instance, const Schedule& schedule) {
+  SHAREDRES_OBS_COUNT("validator.runs");
   Sink sink(1);
   scan(instance, schedule, sink);
   if (sink.violations().empty()) return {};
+  SHAREDRES_OBS_COUNT("validator.infeasible");
   return {false, sink.violations().front().detail};
 }
 
 ValidationReport validate_all(const Instance& instance,
                               const Schedule& schedule,
                               std::size_t max_violations) {
+  SHAREDRES_OBS_COUNT("validator.collect_all_runs");
   Sink sink(std::max<std::size_t>(max_violations, 1));
   scan(instance, schedule, sink);
+  SHAREDRES_OBS_COUNT_N("validator.violations", sink.violations().size());
+  if (sink.truncated()) SHAREDRES_OBS_COUNT("validator.truncations");
   return ValidationReport{std::move(sink.violations())};
 }
 

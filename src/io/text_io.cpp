@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 
@@ -29,6 +30,8 @@ class Reader {
     std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
+      SHAREDRES_OBS_COUNT("io.lines_read");
+      SHAREDRES_OBS_COUNT_N("io.bytes_read", line.size() + 1);
       std::vector<Token> tokens;
       std::size_t i = 0;
       while (i < line.size()) {
@@ -49,6 +52,7 @@ class Reader {
   [[noreturn]] void fail(const std::string& msg) const { fail_at(0, msg); }
 
   [[noreturn]] void fail_at(int column, const std::string& msg) const {
+    SHAREDRES_OBS_COUNT("io.parse_errors");
     throw util::Error::parse(line_no_, column, msg);
   }
 
@@ -85,6 +89,8 @@ class Reader {
     std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
+      SHAREDRES_OBS_COUNT("io.lines_read");
+      SHAREDRES_OBS_COUNT_N("io.bytes_read", line.size() + 1);
       if (line.empty()) continue;
       const std::string want = "# sharedres " + kind + " v1";
       if (line != want) fail("expected header '" + want + "'");
@@ -101,6 +107,7 @@ class Reader {
 }  // namespace
 
 void write_instance(std::ostream& os, const core::Instance& instance) {
+  SHAREDRES_OBS_COUNT("io.instances_written");
   os << "# sharedres instance v1\n";
   os << "machines " << instance.machines() << "\n";
   os << "capacity " << instance.capacity() << "\n";
@@ -125,10 +132,14 @@ core::Instance read_instance(std::istream& is) {
     }
     jobs.push_back(core::Job{r.to_int(tokens[1]), r.to_int(tokens[2])});
   }
+  SHAREDRES_OBS_COUNT("io.instances_read");
+  SHAREDRES_OBS_OBSERVE("io.instance_jobs", ({1, 10, 100, 1000, 10000, 100000}),
+                        n);
   return core::Instance(machines, capacity, std::move(jobs));
 }
 
 void write_schedule(std::ostream& os, const core::Schedule& schedule) {
+  SHAREDRES_OBS_COUNT("io.schedules_written");
   os << "# sharedres schedule v1\n";
   os << "blocks " << schedule.blocks().size() << "\n";
   for (const core::Block& block : schedule.blocks()) {
@@ -171,6 +182,7 @@ core::Schedule read_schedule(std::istream& is) {
     }
     schedule.append(len, std::move(assignments));
   }
+  SHAREDRES_OBS_COUNT("io.schedules_read");
   return schedule;
 }
 
@@ -315,14 +327,20 @@ namespace {
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw util::Error::io("cannot open for writing: " + path);
+  if (!os) {
+    SHAREDRES_OBS_COUNT("io.open_errors");
+    throw util::Error::io("cannot open for writing: " + path);
+  }
   return os;
 }
 
 std::ifstream open_in(const std::string& path) {
   SHAREDRES_FAILPOINT("io.open_in");
   std::ifstream is(path);
-  if (!is) throw util::Error::io("cannot open for reading: " + path);
+  if (!is) {
+    SHAREDRES_OBS_COUNT("io.open_errors");
+    throw util::Error::io("cannot open for reading: " + path);
+  }
   return is;
 }
 

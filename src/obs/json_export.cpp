@@ -1,0 +1,91 @@
+#include "obs/json_export.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace sharedres::obs {
+
+namespace {
+
+util::Json histogram_json(const Histogram& h) {
+  util::Json bounds{util::Json::Array{}};
+  for (const std::uint64_t b : h.bounds()) bounds.push_back(b);
+  util::Json counts{util::Json::Array{}};
+  for (const std::uint64_t c : h.counts()) counts.push_back(c);
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("bounds", std::move(bounds));
+  doc.emplace("counts", std::move(counts));
+  doc.emplace("count", h.count());
+  doc.emplace("sum", h.sum());
+  return doc;
+}
+
+/// One section ("deterministic" or "volatile"): counters/gauges/histograms
+/// whose Det tag matches `det`, each sub-object sorted by name (metrics()
+/// already iterates in name order).
+util::Json section_json(const std::vector<Registry::MetricView>& metrics,
+                        Det det) {
+  util::Json counters{util::Json::Object{}};
+  util::Json gauges{util::Json::Object{}};
+  util::Json histograms{util::Json::Object{}};
+  for (const Registry::MetricView& m : metrics) {
+    if (m.det != det) continue;
+    switch (m.kind) {
+      case Kind::kCounter:
+        counters.emplace(m.name, m.counter->value());
+        break;
+      case Kind::kGauge:
+        gauges.emplace(m.name, m.gauge->value());
+        break;
+      case Kind::kHistogram:
+        histograms.emplace(m.name, histogram_json(*m.histogram));
+        break;
+    }
+  }
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("counters", std::move(counters));
+  doc.emplace("gauges", std::move(gauges));
+  doc.emplace("histograms", std::move(histograms));
+  return doc;
+}
+
+}  // namespace
+
+util::Json deterministic_json(const Registry& registry) {
+  return section_json(registry.metrics(), Det::kDeterministic);
+}
+
+util::Json to_json(const Registry& registry) {
+  const std::vector<Registry::MetricView> metrics = registry.metrics();
+
+  util::Json vol = section_json(metrics, Det::kVolatile);
+  util::Json events{util::Json::Array{}};
+  for (const Event& ev : registry.events().snapshot()) {
+    util::Json entry{util::Json::Object{}};
+    entry.emplace("seq", ev.seq);
+    entry.emplace("name", ev.name);
+    entry.emplace("value", ev.value);
+    events.push_back(std::move(entry));
+  }
+  vol.emplace("events", std::move(events));
+  vol.emplace("events_total", registry.events().total_recorded());
+  vol.emplace("events_capacity",
+              static_cast<std::uint64_t>(registry.events().capacity()));
+
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("metrics_schema_version", 1);
+  doc.emplace("obs_enabled", enabled());
+  doc.emplace("deterministic", section_json(metrics, Det::kDeterministic));
+  doc.emplace("volatile", std::move(vol));
+  return doc;
+}
+
+void save_metrics(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw util::Error::io("cannot open for writing: " + path);
+  os << to_json(Registry::global()).dump(2) << "\n";
+  if (!os) throw util::Error::io("failed writing metrics to: " + path);
+}
+
+}  // namespace sharedres::obs

@@ -1,0 +1,45 @@
+// JSON export of the obs metrics registry (the metrics.json schema).
+//
+// Split from obs/registry.hpp so the registry itself stays dependency-free:
+// sharedres_util instruments its own internals (parallel sweeps, fail
+// points) through the registry, so the registry must not depend on util —
+// this translation unit, which needs util::Json, is therefore compiled into
+// sharedres_util (see src/util/CMakeLists.txt), closing the layering knot in
+// one place.
+//
+// Schema (metrics_schema_version 1):
+//   {
+//     "metrics_schema_version": 1,
+//     "obs_enabled": bool,            // instrumentation compiled in?
+//     "deterministic": {              // bit-identical across reruns and
+//       "counters":   {name: int},   //   SHAREDRES_THREADS values
+//       "gauges":     {name: int},
+//       "histograms": {name: {"bounds": [int], "counts": [int],
+//                             "count": int, "sum": int}}
+//     },
+//     "volatile": {                   // timings, thread-dependent quantities
+//       "counters": {...}, "gauges": {...}, "histograms": {...},
+//       "events": [{"seq": int, "name": str, "value": int}],
+//       "events_total": int, "events_capacity": int
+//     }
+//   }
+// Keys inside each section are sorted by metric name, so equal registries
+// dump byte-identical JSON regardless of registration order.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace sharedres::obs {
+
+/// The full document described above.
+[[nodiscard]] util::Json to_json(const Registry& registry);
+
+/// Only the "deterministic" section (the comparison payload).
+[[nodiscard]] util::Json deterministic_json(const Registry& registry);
+
+/// Dump to_json(Registry::global()) to `path` (pretty-printed, trailing
+/// newline). Throws util::Error(kIo) when the file cannot be written.
+void save_metrics(const std::string& path);
+
+}  // namespace sharedres::obs

@@ -1,0 +1,219 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace sharedres::obs {
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error(
+        "obs::Histogram: bounds must be non-empty and strictly increasing");
+  }
+}
+
+void Histogram::observe(std::uint64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---- EventRing ------------------------------------------------------------
+
+EventRing::EventRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void EventRing::record(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Event ev{next_seq_, std::string(name), value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<std::size_t>(next_seq_ % capacity_)] = std::move(ev);
+  }
+  ++next_seq_;
+}
+
+std::vector<Event> EventRing::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out(ring_);
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t EventRing::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void EventRing::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+// ---- Registry -------------------------------------------------------------
+
+namespace {
+
+struct Entry {
+  Kind kind;
+  Det det;
+  // Exactly one is engaged, per kind. Deques give stable addresses; entries
+  // index into them.
+  std::size_t index = 0;
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  std::mutex mutex;
+  std::map<std::string, Entry, std::less<>> names;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+};
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache references in
+  // function-local statics, which may run after static destructors.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Registry(std::size_t ring_capacity)
+    : impl_(new Impl()), events_(ring_capacity) {}
+
+Registry::~Registry() { delete impl_; }
+
+namespace {
+
+[[noreturn]] void mismatch(std::string_view name, const char* what) {
+  throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                         "' re-registered with a different " + what);
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, Det det) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->names.find(name);
+  if (it != impl_->names.end()) {
+    if (it->second.kind != Kind::kCounter) mismatch(name, "kind");
+    if (it->second.det != det) mismatch(name, "determinism tag");
+    return impl_->counters[it->second.index];
+  }
+  impl_->counters.emplace_back();
+  impl_->names.emplace(std::string(name),
+                       Entry{Kind::kCounter, det, impl_->counters.size() - 1});
+  return impl_->counters.back();
+}
+
+Gauge& Registry::gauge(std::string_view name, Det det) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->names.find(name);
+  if (it != impl_->names.end()) {
+    if (it->second.kind != Kind::kGauge) mismatch(name, "kind");
+    if (it->second.det != det) mismatch(name, "determinism tag");
+    return impl_->gauges[it->second.index];
+  }
+  impl_->gauges.emplace_back();
+  impl_->names.emplace(std::string(name),
+                       Entry{Kind::kGauge, det, impl_->gauges.size() - 1});
+  return impl_->gauges.back();
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::uint64_t> bounds, Det det) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->names.find(name);
+  if (it != impl_->names.end()) {
+    if (it->second.kind != Kind::kHistogram) mismatch(name, "kind");
+    if (it->second.det != det) mismatch(name, "determinism tag");
+    Histogram& h = impl_->histograms[it->second.index];
+    if (h.bounds() != bounds) mismatch(name, "bucket layout");
+    return h;
+  }
+  impl_->histograms.emplace_back(std::move(bounds));
+  impl_->names.emplace(
+      std::string(name),
+      Entry{Kind::kHistogram, det, impl_->histograms.size() - 1});
+  return impl_->histograms.back();
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (Counter& c : impl_->counters) c.reset();
+  for (Gauge& g : impl_->gauges) g.reset();
+  for (Histogram& h : impl_->histograms) h.reset();
+  events_.clear();
+}
+
+std::vector<Registry::MetricView> Registry::metrics() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<MetricView> out;
+  out.reserve(impl_->names.size());
+  for (const auto& [name, entry] : impl_->names) {  // map: sorted by name
+    MetricView view;
+    view.name = name;
+    view.kind = entry.kind;
+    view.det = entry.det;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        view.counter = &impl_->counters[entry.index];
+        break;
+      case Kind::kGauge:
+        view.gauge = &impl_->gauges[entry.index];
+        break;
+      case Kind::kHistogram:
+        view.histogram = &impl_->histograms[entry.index];
+        break;
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+// ---- ScopedTimer ----------------------------------------------------------
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(Counter& sink_ns)
+    : sink_(sink_ns), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() { sink_.add(now_ns() - start_ns_); }
+
+}  // namespace sharedres::obs

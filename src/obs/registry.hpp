@@ -1,0 +1,316 @@
+// Deterministic observability: process-wide metrics registry.
+//
+// A lightweight substrate the rest of the library reports structural facts
+// through — how many window rebuilds, Case-1/Case-2 steps, rollbacks, or
+// parallel chunks a run actually performed — so tests, benches, and the
+// regression comparator can assert *why* a run was fast or correct, not just
+// *that* it was.
+//
+// Design constraints (the reason this is a testing asset, not telemetry):
+//
+//  * Deterministic by contract. Every metric carries a Det tag. Metrics
+//    tagged kDeterministic must be bit-identical across reruns AND across
+//    SHAREDRES_THREADS values: they may only count order-independent facts
+//    (atomic sums commute), never wall time, thread ids, or scheduling
+//    artifacts. Thread- or time-dependent quantities (worker counts, dynamic
+//    chunk dispatches, scoped-timer nanoseconds, the event ring) are tagged
+//    kVolatile and exported in a separate block that comparisons ignore.
+//
+//  * Lock-free hot path. Registration (name lookup) takes a mutex once per
+//    call site; the SHAREDRES_OBS_* macros cache the returned reference in a
+//    function-local static, so steady-state cost is one relaxed fetch_add.
+//    Metric objects are never moved or freed: references stay valid for the
+//    process lifetime, and reset_values() zeroes values without invalidating
+//    them.
+//
+//  * Zero-cost when compiled out. The SHAREDRES_OBS CMake option (default
+//    ON) defines SHAREDRES_OBS_ENABLED; without it every instrumentation
+//    macro expands to ((void)0) and the instrumented code carries no trace
+//    of the registry. The registry API itself always compiles and links
+//    (the CLI's --metrics-json and the bench harness call it directly), it
+//    just reports an empty catalog.
+//
+// This header is deliberately dependency-free (standard library only):
+// sharedres_util links against it to instrument util::parallel and the fail
+// points, so it must not include anything from util. JSON export — which
+// needs util::Json — lives in obs/json_export.hpp.
+//
+// Metric catalog and schema: DESIGN.md §9.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharedres::obs {
+
+/// Determinism contract of a metric (see file comment). Deterministic
+/// metrics land in the "deterministic" block of the exported JSON and are
+/// compared exactly by scripts/check_bench_regression.py; volatile metrics
+/// are reported but never compared.
+enum class Det {
+  kDeterministic,
+  kVolatile,
+};
+
+/// What a registered name refers to (duplicate names must agree on this).
+enum class Kind {
+  kCounter,
+  kGauge,
+  kHistogram,
+};
+
+/// Monotonically increasing 64-bit sum. add() is a relaxed fetch_add:
+/// increments from concurrent workers commute, so the total is deterministic
+/// whenever the set of increments is.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written signed value. set() from concurrent workers is a race on
+/// *meaning* (last writer wins), so gauges written off the main thread must
+/// be registered kVolatile.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bounds[i]
+/// (bounds strictly increasing), plus an implicit overflow bucket. Bucket
+/// layout is fixed at registration, so exported shapes are stable and two
+/// runs' histograms compare bucket-by-bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t v);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket counts, overflow bucket last (size == bounds().size() + 1).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  void reset();
+
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One entry of the bounded trace ring.
+struct Event {
+  std::uint64_t seq = 0;  ///< 0-based global sequence number
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Bounded ring of trace events: the last `capacity` record() calls, O(1)
+/// memory no matter how long the process runs. Mutex-protected — the ring is
+/// for coarse lifecycle breadcrumbs (file loaded, run started, rollback
+/// taken), not per-step records. Exported in the volatile block: event order
+/// from concurrent recorders is scheduling-dependent.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  void record(std::string_view name, std::int64_t value = 0);
+
+  /// Oldest-to-newest snapshot of the retained events.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;        // ring_[seq % capacity_]
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Name → metric registry. Lookup is mutex-protected; returned references
+/// are stable for the process lifetime (metrics are never destroyed or
+/// moved). Names are dotted paths ("engine.sos.case1_steps"); the exporter
+/// emits them in lexicographic order so output never depends on
+/// registration order.
+class Registry {
+ public:
+  /// The process-wide registry used by the SHAREDRES_OBS_* macros, the CLI,
+  /// and the bench harness.
+  static Registry& global();
+
+  /// Tests may build private registries.
+  explicit Registry(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-register. Throws std::logic_error if `name` is already
+  /// registered as a different kind, with a different Det tag, or (for
+  /// histograms) with different bounds — a silent mismatch would corrupt the
+  /// exported schema.
+  Counter& counter(std::string_view name, Det det = Det::kDeterministic);
+  Gauge& gauge(std::string_view name, Det det = Det::kDeterministic);
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds,
+                       Det det = Det::kDeterministic);
+
+  /// Shorthand for a kVolatile counter accumulating nanoseconds (the sink
+  /// of a ScopedTimer). Name should end in "_ns".
+  Counter& timer_ns(std::string_view name) {
+    return counter(name, Det::kVolatile);
+  }
+
+  [[nodiscard]] EventRing& events() { return events_; }
+  [[nodiscard]] const EventRing& events() const { return events_; }
+
+  /// Zero every metric and clear the event ring, keeping all registrations
+  /// (and therefore all cached references) valid. Tests call this between
+  /// runs they want to compare.
+  void reset_values();
+
+  /// Snapshot row for export and tests. Exactly one of the pointers is
+  /// non-null, matching `kind`.
+  struct MetricView {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    Det det = Det::kDeterministic;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  /// All registered metrics in lexicographic name order.
+  [[nodiscard]] std::vector<MetricView> metrics() const;
+
+  static constexpr std::size_t kDefaultRingCapacity = 256;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  EventRing events_;
+};
+
+/// True when instrumentation macros are compiled in (SHAREDRES_OBS=ON).
+[[nodiscard]] constexpr bool enabled() {
+#if defined(SHAREDRES_OBS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Accumulates elapsed nanoseconds into a (volatile) counter on destruction.
+/// Timing is inherently nondeterministic, so sinks must be kVolatile —
+/// use Registry::timer_ns to get one.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& sink_ns);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& sink_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace sharedres::obs
+
+// ---- instrumentation macros -----------------------------------------------
+//
+// `name` must be a string literal (it is looked up once and cached in a
+// function-local static). The _V variants register the metric as kVolatile.
+#if defined(SHAREDRES_OBS_ENABLED)
+
+#define SHAREDRES_OBS_COUNT_N(name, n)                                \
+  do {                                                                \
+    static ::sharedres::obs::Counter& sharedres_obs_c_ =              \
+        ::sharedres::obs::Registry::global().counter(name);           \
+    sharedres_obs_c_.add(static_cast<std::uint64_t>(n));              \
+  } while (0)
+
+#define SHAREDRES_OBS_COUNT_N_V(name, n)                              \
+  do {                                                                \
+    static ::sharedres::obs::Counter& sharedres_obs_c_ =              \
+        ::sharedres::obs::Registry::global().counter(                 \
+            name, ::sharedres::obs::Det::kVolatile);                  \
+    sharedres_obs_c_.add(static_cast<std::uint64_t>(n));              \
+  } while (0)
+
+#define SHAREDRES_OBS_GAUGE_SET_V(name, v)                            \
+  do {                                                                \
+    static ::sharedres::obs::Gauge& sharedres_obs_g_ =                \
+        ::sharedres::obs::Registry::global().gauge(                   \
+            name, ::sharedres::obs::Det::kVolatile);                  \
+    sharedres_obs_g_.set(static_cast<std::int64_t>(v));               \
+  } while (0)
+
+/// `bounds` is a braced init list of strictly increasing upper bounds,
+/// e.g. SHAREDRES_OBS_OBSERVE("x", ({1, 8, 64}), v) — note the parens.
+#define SHAREDRES_OBS_OBSERVE(name, bounds, v)                        \
+  do {                                                                \
+    static ::sharedres::obs::Histogram& sharedres_obs_h_ =            \
+        ::sharedres::obs::Registry::global().histogram(               \
+            name, std::vector<std::uint64_t> bounds);                 \
+    sharedres_obs_h_.observe(static_cast<std::uint64_t>(v));          \
+  } while (0)
+
+#define SHAREDRES_OBS_EVENT(name, v)                                  \
+  ::sharedres::obs::Registry::global().events().record(               \
+      name, static_cast<std::int64_t>(v))
+
+#define SHAREDRES_OBS_TIMER(varname, name)                            \
+  ::sharedres::obs::ScopedTimer varname(                              \
+      ::sharedres::obs::Registry::global().timer_ns(name))
+
+#else  // !SHAREDRES_OBS_ENABLED
+
+// sizeof keeps the argument an unevaluated operand: no code is generated,
+// but locals that exist only to feed a metric don't trip -Wunused warnings.
+#define SHAREDRES_OBS_COUNT_N(name, n) ((void)sizeof(n))
+#define SHAREDRES_OBS_COUNT_N_V(name, n) ((void)sizeof(n))
+#define SHAREDRES_OBS_GAUGE_SET_V(name, v) ((void)sizeof(v))
+#define SHAREDRES_OBS_OBSERVE(name, bounds, v) ((void)sizeof(v))
+#define SHAREDRES_OBS_EVENT(name, v) ((void)sizeof(v))
+#define SHAREDRES_OBS_TIMER(varname, name) ((void)0)
+
+#endif  // SHAREDRES_OBS_ENABLED
+
+#define SHAREDRES_OBS_COUNT(name) SHAREDRES_OBS_COUNT_N(name, 1)
+#define SHAREDRES_OBS_COUNT_V(name) SHAREDRES_OBS_COUNT_N_V(name, 1)

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace sharedres::util::failpoint {
@@ -137,6 +138,9 @@ void hit(const char* site) {
   Registry& r = registry();
   ensure_env_loaded(r);
   if (r.tracked.load(std::memory_order_relaxed) == 0) return;
+  // Volatile: the parallel.worker site makes the pass-the-gate count depend
+  // on how many worker threads the run launched.
+  SHAREDRES_OBS_COUNT_V("failpoint.site_hits");
   std::uint64_t fired_hit = 0;
   {
     const std::lock_guard<std::mutex> lock(r.mutex);
@@ -148,6 +152,7 @@ void hit(const char* site) {
     s.armed = false;  // one-shot: recovery paths re-execute sites freely
     fired_hit = s.hits;
   }
+  SHAREDRES_OBS_COUNT_V("failpoint.fires");
   throw Error::injected(site, fired_hit);
 }
 

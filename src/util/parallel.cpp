@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/registry.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::util {
@@ -31,12 +32,20 @@ void parallel_chunks(std::size_t count,
                                   std::size_t end),
                      void* ctx, std::size_t threads) {
   if (count == 0) return;
+  // Invocation/item counts are structural (deterministic across --threads);
+  // worker and dispatch counts depend on the thread count, hence volatile.
+  SHAREDRES_OBS_COUNT("parallel.invocations");
+  SHAREDRES_OBS_COUNT_N("parallel.items", count);
   if (threads <= 1 || count == 1) {
+    SHAREDRES_OBS_GAUGE_SET_V("parallel.threads_last", 1);
     body(ctx, 0, count);
     return;
   }
 
   const std::size_t workers = std::min(threads, count);
+  SHAREDRES_OBS_GAUGE_SET_V("parallel.threads_last",
+                            static_cast<std::int64_t>(workers));
+  SHAREDRES_OBS_COUNT_N_V("parallel.workers_launched", workers);
   // The first half of the index space is split evenly (one static chunk per
   // worker, zero coordination); the second half is served in small dynamic
   // chunks so a worker stuck on an expensive cell doesn't serialize the tail.
@@ -48,6 +57,7 @@ void parallel_chunks(std::size_t count,
   std::exception_ptr first_error;
 
   auto worker = [&](std::size_t t) {
+    std::uint64_t dispatches = 0;
     try {
       SHAREDRES_FAILPOINT("parallel.worker");
       const std::size_t begin = static_total * t / workers;
@@ -56,10 +66,15 @@ void parallel_chunks(std::size_t count,
       for (;;) {
         const std::size_t lo =
             cursor.fetch_add(chunk, std::memory_order_relaxed);
-        if (lo >= count) return;
+        if (lo >= count) {
+          SHAREDRES_OBS_COUNT_N_V("parallel.dynamic_dispatches", dispatches);
+          return;
+        }
+        ++dispatches;
         body(ctx, lo, std::min(lo + chunk, count));
       }
     } catch (...) {
+      SHAREDRES_OBS_COUNT_N_V("parallel.dynamic_dispatches", dispatches);
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }

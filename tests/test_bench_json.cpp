@@ -101,7 +101,7 @@ Json emit_artifact(const std::string& dir) {
   h.measure(
       "busy_loop", 5,
       [&] {
-        for (std::uint64_t i = 0; i < 50'000; ++i) sink += i;
+        for (std::uint64_t i = 0; i < 50'000; ++i) sink = sink + i;
       },
       /*items=*/50'000.0);
   EXPECT_EQ(h.finish(), 0);
@@ -117,9 +117,9 @@ TEST(BenchHarness, ArtifactMatchesDocumentedSchema) {
   const Json doc = emit_artifact(::testing::TempDir());
 
   // Top-level keys, in schema order.
-  const std::vector<std::string> keys = {"schema_version", "name",
-                                         "experiment",     "threads",
-                                         "tables",         "timings"};
+  const std::vector<std::string> keys = {
+      "schema_version", "name",    "experiment", "threads",
+      "tables",         "timings", "metrics"};
   ASSERT_EQ(doc.size(), keys.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(doc.as_object()[i].first, keys[i]);
@@ -157,6 +157,12 @@ TEST(BenchHarness, ArtifactMatchesDocumentedSchema) {
     EXPECT_LE(lo, mean);
     EXPECT_LE(mean, hi);
   }
+
+  // The embedded observability snapshot (see src/obs/json_export.hpp).
+  const Json& metrics = doc.at("metrics");
+  EXPECT_EQ(metrics.at("metrics_schema_version").as_double(), 1.0);
+  EXPECT_TRUE(metrics.at("deterministic").is_object());
+  EXPECT_TRUE(metrics.at("volatile").is_object());
 
   // The artifact round-trips through the parser: dump(parse(x)) == x
   // structurally.

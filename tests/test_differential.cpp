@@ -1,0 +1,129 @@
+// Differential sweep: tiny random instances through the exact solver and
+// BOTH approximation engines (general window engine and the unit-size
+// engine), asserting on every instance that
+//   * each engine's schedule is validator-clean (validate_all: zero
+//     violations, not just first-failure),
+//   * the general engine meets Theorem 3.3: |S| <= (2 + 1/(m-2)) * |OPT|
+//     for m >= 3 (for m = 2 only feasibility is guaranteed),
+//   * the unit engine meets |S| <= m/(m-1) * |OPT| + 1 on unit-size
+//     instances (Section 3 modification),
+//   * Eq. (1) is a valid lower bound: LB <= OPT.
+//
+// All randomness is seeded: tiny_grid_instance derives every draw from the
+// (m, n, seed) parameter via util::Rng (xoshiro256**) — the repo has no
+// unseeded std::mt19937/random_device anywhere, so each sweep case is fully
+// reproducible from its parameter tuple. Label tier1_slow: the exact solver
+// dominates the runtime (still matched by `ctest -L tier1`).
+#include <optional>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/validator.hpp"
+#include "exact/exact_sos.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres {
+namespace {
+
+using core::Instance;
+using core::Time;
+using util::Rational;
+
+/// (machines, jobs, grid, seed); grid coarsens with n to keep the exact
+/// branch-and-bound tractable.
+using DiffParam = std::tuple<int, std::size_t, core::Res, std::uint64_t>;
+
+class DifferentialSweep : public ::testing::TestWithParam<DiffParam> {
+ protected:
+  static Instance make(core::Res max_size) {
+    const auto [m, n, grid, seed] = GetParam();
+    return workloads::tiny_grid_instance(m, n, grid, max_size, seed);
+  }
+
+  static std::optional<Time> opt_makespan(const Instance& inst) {
+    // Bounded search: a nullopt (limit hit) skips the case instead of
+    // hanging the suite; the limit is generous for n <= 10 on these grids.
+    return exact::exact_makespan(inst, {.max_states = 2'000'000});
+  }
+
+  static void expect_clean(const Instance& inst,
+                           const core::Schedule& schedule) {
+    const core::ValidationReport report =
+        core::validate_all(inst, schedule, 16);
+    EXPECT_TRUE(report.ok()) << report.violations.size()
+                             << " violation(s), first: "
+                             << (report.violations.empty()
+                                     ? ""
+                                     : report.violations.front().detail);
+  }
+};
+
+TEST_P(DifferentialSweep, GeneralEngineWithinTheoremRatioOfExactOptimum) {
+  const Instance inst = make(/*max_size=*/2);
+  const auto opt = opt_makespan(inst);
+  if (!opt.has_value()) GTEST_SKIP() << "exact search exceeded state limit";
+
+  const core::Schedule schedule = core::schedule_sos(inst);
+  expect_clean(inst, schedule);
+  const Time approx = schedule.makespan();
+  ASSERT_GE(approx, *opt);
+
+  const int m = inst.machines();
+  if (m >= 3) {
+    EXPECT_LE(Rational(approx), core::sos_ratio_bound(m) * Rational(*opt))
+        << "m=" << m << " approx=" << approx << " OPT=" << *opt;
+  }
+  EXPECT_LE(core::lower_bounds(inst).combined(), *opt);
+}
+
+TEST_P(DifferentialSweep, UnitEngineWithinUnitRatioOfExactOptimum) {
+  const Instance inst = make(/*max_size=*/1);  // unit-size jobs only
+  const auto opt = opt_makespan(inst);
+  if (!opt.has_value()) GTEST_SKIP() << "exact search exceeded state limit";
+
+  const core::Schedule schedule = core::schedule_sos_unit(inst);
+  expect_clean(inst, schedule);
+  const Time approx = schedule.makespan();
+  ASSERT_GE(approx, *opt);
+
+  // |S| <= m/(m-1) * |OPT| + 1, exactly in rationals (m >= 2).
+  const int m = inst.machines();
+  EXPECT_LE(Rational(approx),
+            core::unit_ratio_bound(m) * Rational(*opt) + Rational(1))
+      << "m=" << m << " approx=" << approx << " OPT=" << *opt;
+}
+
+TEST_P(DifferentialSweep, EnginesAgreeWithStepwiseExecution) {
+  // fast_forward=false is the pseudo-polynomial reference form; both must
+  // produce identical schedules (the fast-forward proof obligation).
+  const Instance inst = make(/*max_size=*/2);
+  const core::Schedule fast = core::schedule_sos(inst);
+  const core::Schedule slow =
+      core::schedule_sos(inst, {.fast_forward = false});
+  EXPECT_EQ(fast.makespan(), slow.makespan());
+  EXPECT_EQ(fast.blocks().size(), slow.blocks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyGrid, DifferentialSweep,
+    ::testing::Values(
+        // m = 2: feasibility only for the general engine, full ratio for
+        // the unit engine.
+        DiffParam{2, 4, 5, 1}, DiffParam{2, 6, 5, 2}, DiffParam{2, 8, 4, 3},
+        // m = 3: Theorem 3.3 applies (ratio 3).
+        DiffParam{3, 4, 6, 4}, DiffParam{3, 6, 6, 5}, DiffParam{3, 6, 5, 6},
+        DiffParam{3, 8, 4, 7}, DiffParam{3, 8, 5, 8},
+        // n = 10 on the coarsest grid keeps the exact solver tractable.
+        DiffParam{3, 10, 3, 9}, DiffParam{2, 10, 3, 10}),
+    [](const ::testing::TestParamInfo<DiffParam>& param_info) {
+      return "m" + std::to_string(std::get<0>(param_info.param)) + "_n" +
+             std::to_string(std::get<1>(param_info.param)) + "_g" +
+             std::to_string(std::get<2>(param_info.param)) + "_s" +
+             std::to_string(std::get<3>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace sharedres

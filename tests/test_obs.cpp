@@ -1,0 +1,264 @@
+// Unit tests for the observability registry (src/obs) and its JSON export.
+//
+// Everything here runs against *private* Registry instances, so the tests
+// neither observe nor disturb the process-global registry the instrumented
+// library code writes into. The macro-level behavior (enabled() gating,
+// global-registry writes) is covered at the end, keyed on obs::enabled() so
+// the same test source passes under -DSHAREDRES_OBS=OFF.
+#include "obs/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_export.hpp"
+#include "util/json.hpp"
+
+namespace sharedres::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("a.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsCounter, FindOrRegisterReturnsSameObject) {
+  Registry reg;
+  Counter& a = reg.counter("same.name");
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsCounter, ConcurrentAddsAllLand) {
+  Registry reg;
+  Counter& c = reg.counter("contended");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsGauge, SetAddAndNegativeValues) {
+  Registry reg;
+  Gauge& g = reg.gauge("a.gauge");
+  EXPECT_EQ(g.value(), 0);
+  g.set(-5);
+  g.add(2);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(ObsHistogram, BucketsByUpperBoundWithOverflow) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1, 10, 100});
+  // bucket i counts v <= bounds[i]; overflow bucket counts the rest.
+  h.observe(0);
+  h.observe(1);    // both land in bucket 0 (<= 1)
+  h.observe(2);    // bucket 1 (<= 10)
+  h.observe(100);  // bucket 2 (<= 100)
+  h.observe(101);  // overflow
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 100 + 101);
+}
+
+TEST(ObsHistogram, RejectsNonIncreasingBounds) {
+  Registry reg;
+  EXPECT_THROW(reg.histogram("bad1", {}), std::logic_error);
+  EXPECT_THROW(reg.histogram("bad2", {5, 5}), std::logic_error);
+  EXPECT_THROW(reg.histogram("bad3", {5, 3}), std::logic_error);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1, 2}), std::logic_error);
+}
+
+TEST(ObsRegistry, DetMismatchThrows) {
+  Registry reg;
+  reg.counter("d", Det::kDeterministic);
+  EXPECT_THROW(reg.counter("d", Det::kVolatile), std::logic_error);
+}
+
+TEST(ObsRegistry, HistogramBoundsMismatchThrows) {
+  Registry reg;
+  reg.histogram("h", {1, 2, 3});
+  EXPECT_NO_THROW(reg.histogram("h", {1, 2, 3}));
+  EXPECT_THROW(reg.histogram("h", {1, 2}), std::logic_error);
+}
+
+TEST(ObsRegistry, ResetValuesKeepsReferencesValid) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h", {10});
+  c.add(3);
+  g.set(-1);
+  h.observe(4);
+  reg.events().record("boot", 1);
+
+  reg.reset_values();
+
+  // Same objects, zeroed values: cached references in function-local statics
+  // survive a reset.
+  EXPECT_EQ(&c, &reg.counter("c"));
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(reg.events().total_recorded(), 0u);
+  EXPECT_TRUE(reg.events().snapshot().empty());
+}
+
+TEST(ObsRegistry, MetricsExportIsSortedByName) {
+  Registry reg;
+  reg.counter("zebra");
+  reg.gauge("apple", Det::kVolatile);
+  reg.histogram("mango", {1});
+  const std::vector<Registry::MetricView> views = reg.metrics();
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0].name, "apple");
+  EXPECT_EQ(views[1].name, "mango");
+  EXPECT_EQ(views[2].name, "zebra");
+  EXPECT_EQ(views[0].kind, Kind::kGauge);
+  EXPECT_EQ(views[0].det, Det::kVolatile);
+  ASSERT_NE(views[0].gauge, nullptr);
+  ASSERT_NE(views[1].histogram, nullptr);
+  ASSERT_NE(views[2].counter, nullptr);
+}
+
+TEST(ObsEventRing, BoundedOverwriteKeepsNewest) {
+  EventRing ring(4);
+  for (int i = 0; i < 10; ++i) ring.record("e" + std::to_string(i), i);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  const std::vector<Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity bounds retention
+  // Oldest-to-newest, and only the last `capacity` records survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].name, "e" + std::to_string(6 + i));
+    EXPECT_EQ(events[i].value, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(ObsEventRing, ClearForgetsEverything) {
+  EventRing ring(2);
+  ring.record("x");
+  ring.clear();
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// ---- JSON export ----------------------------------------------------------
+
+Registry& populated(Registry& reg) {
+  reg.counter("det.counter").add(5);
+  reg.gauge("det.gauge").set(-2);
+  reg.histogram("det.hist", {1, 10}).observe(3);
+  reg.counter("vol.counter", Det::kVolatile).add(9);
+  reg.events().record("phase", 1);
+  return reg;
+}
+
+TEST(ObsJson, SchemaShapeAndDetVolatileSplit) {
+  Registry reg;
+  const util::Json doc = to_json(populated(reg));
+  EXPECT_EQ(doc.at("metrics_schema_version").as_double(), 1);
+  EXPECT_EQ(doc.at("obs_enabled").as_bool(), enabled());
+
+  const util::Json& det = doc.at("deterministic");
+  EXPECT_EQ(det.at("counters").at("det.counter").as_double(), 5);
+  EXPECT_EQ(det.at("gauges").at("det.gauge").as_double(), -2);
+  EXPECT_FALSE(det.at("counters").contains("vol.counter"));
+  const util::Json& hist = det.at("histograms").at("det.hist");
+  EXPECT_EQ(hist.at("count").as_double(), 1);
+  EXPECT_EQ(hist.at("sum").as_double(), 3);
+  EXPECT_EQ(hist.at("bounds").as_array().size(), 2u);
+  EXPECT_EQ(hist.at("counts").as_array().size(), 3u);
+
+  const util::Json& vol = doc.at("volatile");
+  EXPECT_EQ(vol.at("counters").at("vol.counter").as_double(), 9);
+  EXPECT_FALSE(vol.at("counters").contains("det.counter"));
+  EXPECT_EQ(vol.at("events_total").as_double(), 1);
+  EXPECT_EQ(vol.at("events").at(0).at("name").as_string(), "phase");
+}
+
+TEST(ObsJson, RoundTripsThroughParser) {
+  Registry reg;
+  const util::Json doc = to_json(populated(reg));
+  const util::Json reparsed = util::Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.dump(2), doc.dump(2));
+}
+
+TEST(ObsJson, DeterministicSectionIgnoresVolatileChanges) {
+  Registry reg;
+  populated(reg);
+  const std::string before = deterministic_json(reg).dump();
+  reg.counter("vol.counter", Det::kVolatile).add(1000);
+  reg.events().record("noise", 7);
+  EXPECT_EQ(deterministic_json(reg).dump(), before);
+}
+
+TEST(ObsJson, EqualRegistriesDumpByteIdenticalJson) {
+  // Registration order must not leak into the export.
+  Registry a;
+  a.counter("one").add(1);
+  a.counter("two").add(2);
+  Registry b;
+  b.counter("two").add(2);
+  b.counter("one").add(1);
+  EXPECT_EQ(to_json(a).dump(2), to_json(b).dump(2));
+}
+
+// ---- macro layer ----------------------------------------------------------
+
+TEST(ObsMacros, WriteGlobalRegistryExactlyWhenEnabled) {
+  Counter& probe =
+      Registry::global().counter("test_obs.macro_probe");
+  const std::uint64_t before = probe.value();
+  SHAREDRES_OBS_COUNT("test_obs.macro_probe");
+  SHAREDRES_OBS_COUNT_N("test_obs.macro_probe", 2);
+  if (enabled()) {
+    EXPECT_EQ(probe.value(), before + 3);
+  } else {
+    EXPECT_EQ(probe.value(), before);
+  }
+}
+
+TEST(ObsMacros, DisabledMacrosEvaluateNothing) {
+  // The macro argument must be an unevaluated operand under OBS=OFF (and is
+  // evaluated exactly once under OBS=ON): a side-effecting expression shows
+  // which.
+  std::uint64_t calls = 0;
+  auto expensive = [&calls] { return ++calls; };
+  SHAREDRES_OBS_COUNT_N("test_obs.macro_arg", expensive());
+  EXPECT_EQ(calls, enabled() ? 1u : 0u);
+}
+
+TEST(ObsEnabled, MatchesCompileTimeConfiguration) {
+#if defined(SHAREDRES_OBS_ENABLED)
+  EXPECT_TRUE(enabled());
+#else
+  EXPECT_FALSE(enabled());
+#endif
+}
+
+}  // namespace
+}  // namespace sharedres::obs

@@ -70,7 +70,7 @@ TEST(Parallel, CoversSkewedWorkAcrossThreadCounts) {
         [&](std::size_t i) {
           // Skew: the last few items are ~1000x the first ones.
           volatile std::size_t sink = 0;
-          for (std::size_t k = 0; k < i * i; ++k) sink += k;
+          for (std::size_t k = 0; k < i * i; ++k) sink = sink + k;
           hits[i].fetch_add(1, std::memory_order_relaxed);
         },
         threads);
@@ -88,7 +88,7 @@ TEST(Parallel, MapDeterministicUnderSkewAndThreadCount) {
         200,
         [](std::size_t i) {
           volatile std::size_t sink = 0;
-          for (std::size_t k = 0; k < (200 - i) * 50; ++k) sink += k;
+          for (std::size_t k = 0; k < (200 - i) * 50; ++k) sink = sink + k;
           return i * 31 + 7;
         },
         threads);

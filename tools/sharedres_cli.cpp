@@ -29,6 +29,7 @@
 #include "baselines/baselines.hpp"
 #include "binpack/packers.hpp"
 #include "core/lower_bounds.hpp"
+#include "obs/json_export.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
 #include "io/text_io.hpp"
@@ -63,6 +64,8 @@ int usage() {
          "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
          "nfd|ffd|pairing] [--out=f]\n"
          "  sas      --instance=<sas file> [--weights=w1,w2,...]\n"
+         "global: --metrics-json=<file> dumps the observability registry\n"
+         "        (src/obs) after any command, successful or not\n"
          "exit codes: 0 ok | 1 infeasible | 2 usage | 3 input error\n";
   return kExitUsage;
 }
@@ -329,32 +332,54 @@ int cmd_sas(const util::Cli& cli) {
 
 }  // namespace
 
+/// --metrics-json is honored on every exit path (including errors, so a
+/// failed run still leaves its counters behind for diagnosis); a metrics
+/// write failure must not mask the command's own exit code.
+void maybe_save_metrics(const util::Cli& cli) {
+  const std::string path = cli.get("metrics-json", "");
+  if (path.empty()) return;
+  try {
+    obs::save_metrics(path);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: cannot write metrics: " << e.what() << "\n";
+  }
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Cli cli(argc - 1, argv + 1);
   try {
-    if (command == "gen") return cmd_gen(cli);
-    if (command == "solve") return cmd_solve(cli);
-    if (command == "validate") return cmd_validate(cli);
-    if (command == "bounds") return cmd_bounds(cli);
-    if (command == "pack") return cmd_pack(cli);
-    if (command == "sas") return cmd_sas(cli);
+    int rc = -1;
+    if (command == "gen") rc = cmd_gen(cli);
+    if (command == "solve") rc = cmd_solve(cli);
+    if (command == "validate") rc = cmd_validate(cli);
+    if (command == "bounds") rc = cmd_bounds(cli);
+    if (command == "pack") rc = cmd_pack(cli);
+    if (command == "sas") rc = cmd_sas(cli);
+    if (rc >= 0) {
+      maybe_save_metrics(cli);
+      return rc;
+    }
   } catch (const util::Error& e) {
     // The typed code picks the exit bucket: bad flags are usage errors,
     // everything else a typed throw can signal here came from the input.
     std::cerr << "error: " << e.what() << "\n";
+    maybe_save_metrics(cli);
     return e.code() == util::ErrorCode::kCliUsage ? kExitUsage : kExitInput;
   } catch (const util::OverflowError& e) {
     std::cerr << "error: " << e.what() << "\n";
+    maybe_save_metrics(cli);
     return kExitInput;
   } catch (const std::invalid_argument& e) {
     // Scheduler/generator preconditions (m >= 2, unknown family, ...) are
     // violated by what the user fed in, not by library bugs.
     std::cerr << "error: " << e.what() << "\n";
+    maybe_save_metrics(cli);
     return kExitInput;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
+    maybe_save_metrics(cli);
     return kExitInfeasible;
   }
   return usage();
