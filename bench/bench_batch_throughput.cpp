@@ -1,0 +1,162 @@
+// E12 — batch pipeline throughput: how much does the batch service's
+// scratch reuse + single process buy over the naive ways to schedule a
+// stream of instances?  Three paths over the SAME generated NDJSON stream:
+//
+//   * batch              — batch::run_batch (the `sharedres_cli batch`
+//                          engine path: per-worker engine/Schedule reuse,
+//                          ordered emission),
+//   * single_shot        — in-process, but a fresh parse + fresh engine +
+//                          fresh Schedule per record (what a loop calling
+//                          the library naively would do),
+//   * per_process_sample — one `sharedres_cli solve` subprocess per
+//                          instance (what a shell loop over files does),
+//                          measured on a small sample because it is slow by
+//                          design; items_per_second makes it comparable.
+//
+// The headline figure is batch-vs-per-process instances/second — the batch
+// pipeline amortizes process startup, instance IO, and allocation, and the
+// EXPERIMENTS.md entry pins the observed multiple (the issue gates on
+// >= 5x at n ~ 1000 jobs, 10k instances).
+//
+// Usage: bench_batch_throughput [--instances=N] [--jobs=J] [--machines=M]
+//                               [--reps=K] [--cli=PATH] [--spawn-sample=S]
+//                               [--csv] [--json-dir=DIR]
+//   --cli            path to sharedres_cli; empty (default) skips the
+//                    per-process sample so the bench has no binary
+//                    dependency in library-only builds
+//   --spawn-sample   how many subprocess solves to time (default 25)
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/pipeline.hpp"
+#include "batch/stream.hpp"
+#include "core/sos_scheduler.hpp"
+#include "harness.hpp"
+#include "io/text_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+std::vector<std::string> generate_records(std::size_t instances,
+                                          std::size_t jobs, int machines) {
+  std::vector<std::string> lines;
+  lines.reserve(instances);
+  workloads::SosConfig cfg;
+  cfg.machines = machines;
+  cfg.jobs = jobs;
+  cfg.max_size = 5;
+  for (std::size_t i = 0; i < instances; ++i) {
+    cfg.seed = 1000 + i;
+    lines.push_back(batch::format_instance_record(
+        workloads::uniform_instance(cfg), "bench-" + std::to_string(i)));
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_batch_throughput",
+                   "E12 batch pipeline throughput vs single-shot and "
+                   "per-process scheduling");
+  const auto instances =
+      static_cast<std::size_t>(cli.get_int("instances", 10'000));
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 1'000));
+  const auto machines = static_cast<int>(cli.get_int("machines", 8));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const std::string cli_path = cli.get("cli", "");
+  const auto spawn_sample =
+      static_cast<std::size_t>(cli.get_int("spawn-sample", 25));
+
+  const std::vector<std::string> lines =
+      generate_records(instances, jobs, machines);
+  std::string stream;
+  for (const std::string& line : lines) {
+    stream += line;
+    stream += '\n';
+  }
+
+  // Accumulates into the table below — keeps the timed work observable.
+  core::Time checksum = 0;
+
+  batch::BatchOptions options;
+  options.threads = h.threads();
+  const bench::Timing batch_t = h.measure(
+      "batch", reps,
+      [&] {
+        std::istringstream in(stream);
+        std::ostringstream out;
+        const batch::BatchSummary summary = batch::run_batch(in, out, options);
+        checksum += static_cast<core::Time>(summary.makespan_sum);
+      },
+      static_cast<double>(instances));
+
+  const bench::Timing single_t = h.measure(
+      "single_shot", reps,
+      [&] {
+        for (const std::string& line : lines) {
+          const batch::InstanceRecord rec = batch::parse_instance_record(line);
+          checksum += core::schedule_sos(rec.instance).makespan();
+        }
+      },
+      static_cast<double>(instances));
+
+  bench::Timing spawn_t;
+  if (!cli_path.empty() && spawn_sample > 0) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "sharedres_bench_batch_throughput";
+    fs::create_directories(dir);
+    const std::size_t sample = std::min(spawn_sample, instances);
+    for (std::size_t i = 0; i < sample; ++i) {
+      const batch::InstanceRecord rec = batch::parse_instance_record(lines[i]);
+      std::ofstream out(dir / ("inst-" + std::to_string(i) + ".txt"));
+      io::write_instance(out, rec.instance);
+    }
+    spawn_t = h.measure(
+        "per_process_sample", 1,
+        [&] {
+          for (std::size_t i = 0; i < sample; ++i) {
+            const std::string cmd =
+                cli_path + " solve --instance=" +
+                (dir / ("inst-" + std::to_string(i) + ".txt")).string() +
+                " >/dev/null 2>&1";
+            if (std::system(cmd.c_str()) != 0) {
+              std::fprintf(stderr, "bench_batch_throughput: solve failed\n");
+              return;
+            }
+          }
+        },
+        static_cast<double>(sample));
+  }
+
+  h.section("E12  Instances/second by path (higher is better)");
+  util::Table t({"path", "instances_per_s", "speedup_vs_single_shot",
+                 "speedup_vs_per_process", "checksum"});
+  const auto speedup = [](double a, double b) {
+    return b > 0.0 ? util::fixed(a / b, 2) : std::string("-");
+  };
+  t.add("batch", util::fixed(batch_t.items_per_second, 1),
+        speedup(batch_t.items_per_second, single_t.items_per_second),
+        speedup(batch_t.items_per_second, spawn_t.items_per_second),
+        checksum);
+  t.add("single_shot", util::fixed(single_t.items_per_second, 1), "1.00",
+        speedup(single_t.items_per_second, spawn_t.items_per_second), "");
+  if (spawn_t.items_per_second > 0.0) {
+    t.add("per_process", util::fixed(spawn_t.items_per_second, 1),
+          speedup(spawn_t.items_per_second, single_t.items_per_second), "1.00",
+          "");
+  }
+  h.table(t);
+
+  return h.finish();
+}

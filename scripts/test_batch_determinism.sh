@@ -1,0 +1,86 @@
+# Proves the batch determinism contract through the real binary:
+#
+#  1. `sharedres_cli batch` output is byte-identical across
+#     SHAREDRES_THREADS=1/2/8 (ordered emission + commutative metrics), and
+#     identical again on a rerun.
+#  2. Record k of a `gen --count=N --seed=S --format=ndjson` stream
+#     corresponds exactly to the single-shot `gen --seed=S+k` instance: the
+#     batch result's makespan and embedded schedule text match a one-shot
+#     `solve` of that instance.
+#
+# Run by ctest as cli_batch_determinism (label tier1).
+#
+#   usage: test_batch_determinism.sh <path-to-sharedres_cli>
+#
+# Uses only sh + python3, both required by the existing scripts/ tooling.
+set -u
+
+CLI=${1:?usage: test_batch_determinism.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+SEED=42
+COUNT=30
+"$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=$SEED \
+  --count=$COUNT --format=ndjson --out="$TMP/stream.ndjson" > /dev/null \
+  || fail "gen --format=ndjson exited $?"
+
+run() {  # run <threads> <out.ndjson>
+  SHAREDRES_THREADS=$1 "$CLI" batch --in="$TMP/stream.ndjson" \
+    --emit-schedules > "$2" || fail "batch (threads=$1) exited $?"
+}
+
+run 1 "$TMP/t1.ndjson"
+run 2 "$TMP/t2.ndjson"
+run 8 "$TMP/t8.ndjson"
+run 8 "$TMP/t8_again.ndjson"
+
+cmp -s "$TMP/t1.ndjson" "$TMP/t2.ndjson" \
+  || fail "batch output differs between SHAREDRES_THREADS=1 and 2"
+cmp -s "$TMP/t1.ndjson" "$TMP/t8.ndjson" \
+  || fail "batch output differs between SHAREDRES_THREADS=1 and 8"
+cmp -s "$TMP/t8.ndjson" "$TMP/t8_again.ndjson" \
+  || fail "batch output differs between identical reruns"
+
+# ---- record k <-> one-shot correspondence ----------------------------------
+K=7
+"$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=$((SEED + K)) \
+  --out="$TMP/inst.txt" > /dev/null || fail "gen single instance exited $?"
+"$CLI" solve --instance="$TMP/inst.txt" --out="$TMP/sched.txt" \
+  > "$TMP/solve.out" || fail "solve exited $?"
+
+python3 - "$TMP/t1.ndjson" "$TMP/solve.out" "$TMP/sched.txt" $K <<'EOF' || exit 1
+import json, sys
+batch_path, solve_out, sched_path, k = sys.argv[1:5]
+k = int(k)
+
+records = [json.loads(line) for line in open(batch_path)]
+summary = records[-1]
+assert summary.get("summary") is True, "last line is not the summary"
+record = records[k]
+assert record["index"] == k and record["ok"], f"record {k} not ok: {record}"
+
+solve_makespan = None
+for line in open(solve_out):
+    if line.startswith("makespan:"):
+        solve_makespan = int(line.split()[1])
+assert solve_makespan is not None, "solve output lacks a makespan line"
+if record["makespan"] != solve_makespan:
+    sys.exit(f"FAIL: batch record {k} makespan {record['makespan']} != "
+             f"one-shot solve makespan {solve_makespan}")
+
+one_shot_schedule = open(sched_path).read()
+if record["schedule"] != one_shot_schedule:
+    sys.exit(f"FAIL: batch record {k} embedded schedule differs from the "
+             f"one-shot solve schedule")
+
+if summary["records"] != len(records) - 1 or summary["failed"] != 0:
+    sys.exit(f"FAIL: summary counts wrong: {summary}")
+EOF
+
+echo "PASS: batch output identical across threads/reruns and equal to one-shot solves"

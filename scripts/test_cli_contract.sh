@@ -104,6 +104,55 @@ grep -q '"code": "share_above_requirement"' "$tmp/bad.json" || {
   fail=1
 }
 
+# ---- batch command ---------------------------------------------------------
+"$CLI" batch >/dev/null 2>&1
+expect "batch without --in/--dir" 2 $?
+
+"$CLI" batch --in=a --dir=b >/dev/null 2>&1
+expect "batch with both --in and --dir" 2 $?
+
+"$CLI" batch --in=x.ndjson --algorithm=nope >/dev/null 2>&1
+expect "batch unknown --algorithm" 2 $?
+
+"$CLI" batch --in=x.ndjson --threads=0 >/dev/null 2>&1
+expect "batch --threads=0" 2 $?
+
+"$CLI" batch --in="$tmp/definitely-missing.ndjson" >/dev/null 2>&1
+expect "batch missing input stream" 3 $?
+
+"$CLI" batch --dir="$tmp/definitely-missing-dir" >/dev/null 2>&1
+expect "batch missing input directory" 3 $?
+
+"$CLI" gen --family=uniform --machines=4 --jobs=10 --seed=3 --count=5 \
+  --format=ndjson --out="$tmp/stream.ndjson" >/dev/null 2>&1
+expect "gen --format=ndjson" 0 $?
+
+"$CLI" batch --in="$tmp/stream.ndjson" > "$tmp/results.ndjson" 2>/dev/null
+expect "batch all records ok" 0 $?
+grep -q '"summary":true,"records":5,"ok":5,"failed":0' "$tmp/results.ndjson" || {
+  echo 'FAIL: batch summary line lacks the expected counts'
+  fail=1
+}
+
+# A malformed record mid-stream must yield a typed per-record error line and
+# exit 1 — the remaining records still run.
+printf '{"machines":0,"capacity":1,"jobs":[]}\n' >> "$tmp/stream.ndjson"
+"$CLI" gen --family=uniform --machines=4 --jobs=10 --seed=100 --count=1 \
+  --format=ndjson >> "$tmp/stream.ndjson" 2>/dev/null
+"$CLI" batch --in="$tmp/stream.ndjson" > "$tmp/results2.ndjson" 2>/dev/null
+expect "batch with one malformed record" 1 $?
+grep -q '"ok":false,"error":{"code":"invalid_instance"' "$tmp/results2.ndjson" || {
+  echo 'FAIL: batch error record lacks the typed error code'
+  fail=1
+}
+grep -q '"summary":true,"records":7,"ok":6,"failed":1' "$tmp/results2.ndjson" || {
+  echo 'FAIL: batch summary after malformed record lacks expected counts'
+  fail=1
+}
+
+"$CLI" gen --count=3 >/dev/null 2>&1
+expect "gen --count without --format=ndjson" 2 $?
+
 # ---- env-var fail-point activation (only in failpoint-enabled builds) ------
 SHAREDRES_FAILPOINTS='io.next_line=throw@2' \
   "$CLI" bounds --instance="$tmp/inst.txt" >/dev/null 2>&1

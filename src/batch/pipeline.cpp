@@ -1,0 +1,255 @@
+#include "batch/pipeline.hpp"
+
+#include <deque>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "baselines/baselines.hpp"
+#include "batch/stream.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/sos_engine.hpp"
+#include "core/unit_engine.hpp"
+#include "core/validator.hpp"
+#include "io/text_io.hpp"
+#include "obs/json_export.hpp"
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace sharedres::batch {
+
+namespace {
+
+/// Per-worker reusable state. The engines are lazily constructed on the
+/// worker's first suitable record and rebound with reset() afterwards; the
+/// metrics registry collects this worker's batch.* counters for the
+/// worker-order merge after the pool drains.
+struct WorkerScratch {
+  std::optional<core::SosEngine> sos;
+  std::optional<core::UnitEngine> unit;
+  core::Schedule schedule;
+  obs::Registry metrics{/*ring_capacity=*/1};
+};
+
+/// Solve `inst` into scratch.schedule (reset first). Engine-less baselines
+/// assign a fresh schedule instead; they are simple list algorithms with no
+/// reusable state.
+void solve_into(const core::Instance& inst, const std::string& algorithm,
+                WorkerScratch& scratch) {
+  scratch.schedule.reset();
+  if (algorithm == "window") {
+    if (inst.machines() < 2) {
+      throw util::Error::invalid_instance(
+          "algorithm 'window' requires machines >= 2");
+    }
+    if (inst.empty()) return;
+    const core::SosEngine::Params params{
+        .window_cap = static_cast<std::size_t>(inst.machines() - 1),
+        .budget = inst.capacity(),
+        .allow_extra_job = true,
+    };
+    if (scratch.sos) {
+      scratch.sos->reset(inst, params);
+    } else {
+      scratch.sos.emplace(inst, params);
+    }
+    scratch.sos->run(scratch.schedule);
+  } else if (algorithm == "unit") {
+    if (inst.machines() < 2 || !inst.unit_size()) {
+      throw util::Error::invalid_instance(
+          "algorithm 'unit' requires machines >= 2 and unit-size jobs");
+    }
+    if (inst.empty()) return;
+    if (scratch.unit) {
+      scratch.unit->reset(inst);
+    } else {
+      scratch.unit.emplace(inst);
+    }
+    scratch.unit->run(scratch.schedule);
+  } else if (algorithm == "gg") {
+    scratch.schedule = baselines::schedule_garey_graham(inst);
+  } else if (algorithm == "equalsplit") {
+    scratch.schedule = baselines::schedule_equal_split(inst);
+  } else {
+    scratch.schedule = baselines::schedule_sequential(inst);
+  }
+}
+
+/// Process one input line into its formatted result line. Record-level
+/// problems (parse errors, invalid instances, overflow) become "ok":false
+/// lines and the batch continues; only std::logic_error — a library bug —
+/// escapes (through the pool) and aborts the batch.
+std::string process_record(const std::string& line, std::size_t index,
+                           const BatchOptions& options,
+                           WorkerScratch& scratch) {
+  ResultRecord rec;
+  rec.index = index;
+  scratch.metrics.counter("batch.records").inc();
+  try {
+    const InstanceRecord input = parse_instance_record(line);
+    rec.id = input.id;
+    const core::Instance& inst = input.instance;
+    solve_into(inst, options.algorithm, scratch);
+    const auto check = core::validate(inst, scratch.schedule);
+    if (!check.ok) {
+      throw std::logic_error("batch: produced infeasible schedule: " +
+                             check.error);
+    }
+    rec.ok = true;
+    rec.algorithm = options.algorithm;
+    rec.machines = inst.machines();
+    rec.jobs = inst.size();
+    rec.makespan = scratch.schedule.makespan();
+    rec.lower_bound = core::lower_bounds(inst).combined();
+    rec.blocks = scratch.schedule.blocks().size();
+    if (options.emit_schedules) {
+      std::ostringstream ss;
+      io::write_schedule(ss, scratch.schedule);
+      rec.schedule_text = ss.str();
+    }
+    scratch.metrics.counter("batch.records_ok").inc();
+    scratch.metrics.counter("batch.jobs").add(inst.size());
+    scratch.metrics.counter("batch.blocks").add(rec.blocks);
+    scratch.metrics.counter("batch.makespan_sum").add(
+        static_cast<std::uint64_t>(rec.makespan));
+  } catch (const util::Error& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(e.code());
+    rec.error_message = e.what();
+  } catch (const util::OverflowError& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
+    rec.error_message = e.what();
+  } catch (const std::invalid_argument& e) {
+    // Scheduler/generator preconditions violated by the record's content
+    // (same classification as the CLI's input-error path).
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
+    rec.error_message = e.what();
+  }
+  if (!rec.ok) {
+    scratch.metrics.counter("batch.records_failed").inc();
+    if (rec.id.empty()) {
+      // Salvage the caller's label for the error line when the JSON itself
+      // is readable (e.g. the instance was semantically invalid).
+      try {
+        const util::Json doc = util::Json::parse(line);
+        if (doc.is_object() && doc.contains("id") &&
+            doc.at("id").is_string()) {
+          rec.id = doc.at("id").as_string();
+        }
+      } catch (const util::Error&) {
+        // Unparseable line: no id to recover.
+      }
+    }
+  }
+  return format_result_record(rec);
+}
+
+/// Reorder buffer in front of the output stream: emit(i, line) may arrive in
+/// any order, the stream receives lines strictly in index order. Bounded in
+/// practice by queue capacity + worker count (a worker can only run ahead of
+/// the slowest index by what the bounded queue admitted).
+class OrderedEmitter {
+ public:
+  explicit OrderedEmitter(std::ostream& out) : out_(out) {}
+
+  void emit(std::size_t index, std::string line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(index, std::move(line));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      out_ << pending_.begin()->second << '\n';
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+  /// All emitted lines flushed (call after the pool has drained).
+  [[nodiscard]] bool drained() const { return pending_.empty(); }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::size_t, std::string> pending_;
+  std::size_t next_ = 0;
+  std::ostream& out_;
+};
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+BatchSummary run_batch(std::istream& in, std::ostream& out,
+                       const BatchOptions& options) {
+  const std::string& a = options.algorithm;
+  if (a != "window" && a != "unit" && a != "gg" && a != "equalsplit" &&
+      a != "sequential") {
+    throw util::Error::cli("algorithm", "unknown algorithm '" + a + "'");
+  }
+
+  // deque: WorkerScratch holds a Registry (neither movable nor copyable),
+  // and worker threads hold references across emplacement of later slots.
+  std::deque<WorkerScratch> scratch;
+  OrderedEmitter emitter(out);
+  std::string line;
+  std::size_t index = 0;
+
+  if (options.threads <= 1) {
+    // Fully inline: no pool, no extra threads. Byte-identical to the pooled
+    // path by construction (same process_record, same emitter).
+    scratch.emplace_back();
+    while (std::getline(in, line)) {
+      if (blank(line)) continue;
+      emitter.emit(index, process_record(line, index, options, scratch[0]));
+      ++index;
+    }
+  } else {
+    util::WorkerPool pool(options.threads, options.queue_capacity);
+    for (std::size_t w = 0; w < pool.threads(); ++w) scratch.emplace_back();
+    while (std::getline(in, line)) {
+      if (blank(line)) continue;
+      pool.submit([record = std::move(line), index, &options, &scratch,
+                   &emitter](std::size_t w) {
+        emitter.emit(index, process_record(record, index, options, scratch[w]));
+      });
+      ++index;
+    }
+    pool.close();  // drain; rethrows the first worker logic_error, if any
+  }
+  if (!emitter.drained()) {
+    throw std::logic_error("batch: emitter left lines behind");
+  }
+
+  // Worker-order merge of the per-worker registries. The counters are
+  // commutative sums over the record set, so the merged totals — and with
+  // them the summary line — are invariant under thread count and schedule.
+  obs::Registry merged(/*ring_capacity=*/1);
+  for (const WorkerScratch& s : scratch) merged.merge_from(s.metrics);
+
+  BatchSummary summary;
+  summary.records = merged.counter("batch.records").value();
+  summary.ok = merged.counter("batch.records_ok").value();
+  summary.failed = merged.counter("batch.records_failed").value();
+  summary.makespan_sum = merged.counter("batch.makespan_sum").value();
+  summary.metrics = obs::deterministic_json(merged);
+
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("summary", true);
+  doc.emplace("records", summary.records);
+  doc.emplace("ok", summary.ok);
+  doc.emplace("failed", summary.failed);
+  doc.emplace("makespan_sum", summary.makespan_sum);
+  doc.emplace("metrics", summary.metrics);
+  out << doc.dump() << '\n';
+  return summary;
+}
+
+}  // namespace sharedres::batch

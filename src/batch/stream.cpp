@@ -1,0 +1,117 @@
+#include "batch/stream.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace sharedres::batch {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw util::Error(util::ErrorCode::kParse,
+                    "batch record: " + what);
+}
+
+/// A JSON number that is an exact integer within the double-exact range.
+std::int64_t require_int(const util::Json& v, const char* field) {
+  if (!v.is_number()) bad(std::string(field) + " must be a number");
+  const double d = v.as_double();
+  if (std::floor(d) != d || std::abs(d) > 9.007199254740992e15) {
+    bad(std::string(field) + " must be an integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+}  // namespace
+
+InstanceRecord parse_instance_record(const std::string& line) {
+  const util::Json doc = util::Json::parse(line);
+  if (!doc.is_object()) bad("line must be a JSON object");
+
+  std::string record_id;
+  if (doc.contains("id")) {
+    const util::Json& id = doc.at("id");
+    if (!id.is_string()) bad("id must be a string");
+    record_id = id.as_string();
+  }
+  const std::int64_t machines = require_int(doc.at("machines"), "machines");
+  if (machines < std::numeric_limits<int>::min() ||
+      machines > std::numeric_limits<int>::max()) {
+    bad("machines out of range");
+  }
+  const std::int64_t capacity = require_int(doc.at("capacity"), "capacity");
+
+  const util::Json& jobs = doc.at("jobs");
+  if (!jobs.is_array()) bad("jobs must be an array");
+  std::vector<core::Job> parsed;
+  parsed.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const util::Json& pair = jobs.at(i);
+    if (!pair.is_array() || pair.size() != 2) {
+      bad("jobs[" + std::to_string(i) + "] must be a [size, requirement] pair");
+    }
+    parsed.push_back(core::Job{
+        .size = require_int(pair.at(std::size_t{0}), "job size"),
+        .requirement = require_int(pair.at(std::size_t{1}), "job requirement"),
+    });
+  }
+  // Instance validates semantics (m >= 1, positive sizes/requirements) and
+  // computes checked totals; its typed errors propagate to the caller.
+  return InstanceRecord{
+      std::move(record_id),
+      core::Instance(static_cast<int>(machines), capacity, std::move(parsed))};
+}
+
+std::string format_instance_record(const core::Instance& instance,
+                                   const std::string& id) {
+  // Undo the instance's sort so format∘parse round-trips the caller's order.
+  std::vector<core::Job> original(instance.size());
+  for (core::JobId j = 0; j < instance.size(); ++j) {
+    original[instance.original_id(j)] = instance.job(j);
+  }
+  util::Json jobs{util::Json::Array{}};
+  for (const core::Job& job : original) {
+    util::Json pair{util::Json::Array{}};
+    pair.push_back(job.size);
+    pair.push_back(job.requirement);
+    jobs.push_back(std::move(pair));
+  }
+  util::Json doc{util::Json::Object{}};
+  if (!id.empty()) doc.emplace("id", id);
+  doc.emplace("machines", instance.machines());
+  doc.emplace("capacity", instance.capacity());
+  doc.emplace("jobs", std::move(jobs));
+  return doc.dump();
+}
+
+std::string format_result_record(const ResultRecord& record) {
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("index", static_cast<std::uint64_t>(record.index));
+  if (!record.id.empty()) doc.emplace("id", record.id);
+  doc.emplace("ok", record.ok);
+  if (record.ok) {
+    doc.emplace("algorithm", record.algorithm);
+    doc.emplace("machines", record.machines);
+    doc.emplace("jobs", static_cast<std::uint64_t>(record.jobs));
+    doc.emplace("makespan", record.makespan);
+    doc.emplace("lower_bound", record.lower_bound);
+    doc.emplace("blocks", static_cast<std::uint64_t>(record.blocks));
+    if (!record.schedule_text.empty()) {
+      doc.emplace("schedule", record.schedule_text);
+    }
+  } else {
+    util::Json error{util::Json::Object{}};
+    error.emplace("code", record.error_code);
+    error.emplace("message", record.error_message);
+    doc.emplace("error", std::move(error));
+  }
+  return doc.dump();
+}
+
+}  // namespace sharedres::batch

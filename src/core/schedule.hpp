@@ -44,6 +44,15 @@ class Schedule {
   /// run loop appends without intermediate regrowth).
   void reserve_blocks(std::size_t blocks) { blocks_.reserve(blocks); }
 
+  /// Discard all blocks and zero the makespan, keeping the block list's
+  /// capacity. The reuse API for batch runs: a reset Schedule re-fills
+  /// without regrowing its block storage, so the steady-state cost of the
+  /// next run is only the per-block share vectors the engines move in.
+  void reset() {
+    blocks_.clear();
+    makespan_ = 0;
+  }
+
   /// Snapshot for exception-safe incremental building. Engines take a Mark
   /// on entry to run() and roll back to it if a step throws, so a schedule
   /// never exposes a partially-emitted suffix (strong exception guarantee).

@@ -70,8 +70,13 @@ Time first_unfracture_step(Res q, Res sigma, Res r) {
 
 }  // namespace
 
-SosEngine::SosEngine(const Instance& instance, Params params)
-    : inst_(&instance), params_(params) {
+SosEngine::SosEngine(const Instance& instance, Params params) {
+  reset(instance, params);
+}
+
+void SosEngine::reset(const Instance& instance, Params params) {
+  inst_ = &instance;
+  params_ = params;
   ensure(params_.window_cap >= 1, "window_cap must be >= 1");
   ensure(params_.budget >= 1, "budget must be >= 1");
 
@@ -94,6 +99,13 @@ SosEngine::SosEngine(const Instance& instance, Params params)
   next_[tail_] = tail_;
   prev_[head_] = head_;
   remaining_jobs_ = n;
+
+  wl_ = wr_ = kNoJob;
+  wsize_ = 0;
+  wreq_ = 0;
+  now_ = 0;
+  finished_scratch_.clear();
+  stats_ = {};  // a prior run that threw may have left stats behind
 }
 
 std::vector<JobId> SosEngine::window_members() const {

@@ -64,6 +64,13 @@ class SosEngine {
 
   SosEngine(const Instance& instance, Params params);
 
+  /// Rebind the engine to a new instance, reusing all internal buffers
+  /// (remaining-work array, linked list, scratch vectors). Equivalent to
+  /// constructing a fresh engine, but allocation-free once the buffers have
+  /// grown to the largest instance seen — the batch pipeline's steady-state
+  /// path. The instance must stay alive for the engine's lifetime.
+  void reset(const Instance& instance, Params params);
+
   [[nodiscard]] bool done() const { return remaining_jobs_ == 0; }
   [[nodiscard]] Time now() const { return now_; }
 

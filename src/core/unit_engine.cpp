@@ -16,10 +16,12 @@ void ensure(bool cond, const char* msg) {
 
 }  // namespace
 
-UnitEngine::UnitEngine(const Instance& instance)
-    : inst_(&instance),
-      m_(static_cast<std::size_t>(instance.machines())),
-      capacity_(instance.capacity()) {
+UnitEngine::UnitEngine(const Instance& instance) { reset(instance); }
+
+void UnitEngine::reset(const Instance& instance) {
+  inst_ = &instance;
+  m_ = static_cast<std::size_t>(instance.machines());
+  capacity_ = instance.capacity();
   ensure(instance.unit_size(), "unit-size jobs required");
   ensure(m_ >= 2, "m >= 2 required");
 
@@ -45,6 +47,11 @@ UnitEngine::UnitEngine(const Instance& instance)
 
   succ_.resize(n + 1);
   for (JobId i = 0; i <= n; ++i) succ_[i] = i;  // index n == "past the end"
+
+  iota_ = kNoJob;
+  cursor_ = kNoJob;
+  now_ = 0;
+  stats_ = {};  // a prior run that threw may have left stats behind
 }
 
 JobId UnitEngine::find_alive(JobId i) const {

@@ -28,6 +28,13 @@ class UnitEngine {
   /// Requires instance.unit_size() and m ≥ 2.
   explicit UnitEngine(const Instance& instance);
 
+  /// Rebind the engine to a new instance, reusing all internal buffers
+  /// (key array, linked list, next-alive DSU). Equivalent to constructing a
+  /// fresh engine, but allocation-free once the buffers have grown to the
+  /// largest instance seen — the batch pipeline's steady-state path. The
+  /// instance must stay alive for the engine's lifetime.
+  void reset(const Instance& instance);
+
   [[nodiscard]] bool done() const { return remaining_jobs_ == 0; }
   [[nodiscard]] Time now() const { return now_; }
 

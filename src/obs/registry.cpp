@@ -41,6 +41,15 @@ void Histogram::reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::add_from(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
 // ---- EventRing ------------------------------------------------------------
 
 EventRing::EventRing(std::size_t capacity)
@@ -171,6 +180,30 @@ void Registry::reset_values() {
   for (Gauge& g : impl_->gauges) g.reset();
   for (Histogram& h : impl_->histograms) h.reset();
   events_.clear();
+}
+
+void Registry::merge_from(const Registry& other) {
+  if (&other == this) {
+    throw std::logic_error("obs::Registry: merge_from(self)");
+  }
+  // metrics() snapshots under other's lock; the returned pointers stay valid
+  // because metrics are never destroyed or moved. Registering/adding into
+  // *this* then takes only our own lock — no nested locking, no ordering.
+  for (const MetricView& view : other.metrics()) {
+    switch (view.kind) {
+      case Kind::kCounter:
+        counter(view.name, view.det).add(view.counter->value());
+        break;
+      case Kind::kGauge:
+        gauge(view.name, view.det).add(view.gauge->value());
+        break;
+      case Kind::kHistogram:
+        // add_from is atomic per bucket; no registry lock needed.
+        histogram(view.name, view.histogram->bounds(), view.det)
+            .add_from(*view.histogram);
+        break;
+    }
+  }
 }
 
 std::vector<Registry::MetricView> Registry::metrics() const {

@@ -125,6 +125,8 @@ class Histogram {
  private:
   friend class Registry;
   void reset();
+  /// Bucket-by-bucket addition for Registry::merge_from; bounds must match.
+  void add_from(const Histogram& other);
 
   std::vector<std::uint64_t> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
@@ -204,6 +206,17 @@ class Registry {
   /// (and therefore all cached references) valid. Tests call this between
   /// runs they want to compare.
   void reset_values();
+
+  /// Merge every metric of `other` into this registry: counters and gauges
+  /// add their values, histograms add bucket-by-bucket. Metrics not yet
+  /// registered here are registered first; the usual mismatch rules apply
+  /// (same kind, Det tag, and histogram bounds). Because the merge is pure
+  /// commutative addition, merging per-worker registries — in any order —
+  /// yields the same totals a single shared registry would have accumulated;
+  /// the batch pipeline relies on this to keep its deterministic block
+  /// invariant across SHAREDRES_THREADS. Events are not merged. Merging a
+  /// registry into itself throws std::logic_error.
+  void merge_from(const Registry& other);
 
   /// Snapshot row for export and tests. Exactly one of the pointers is
   /// non-null, matching `kind`.

@@ -5,24 +5,129 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "obs/registry.hpp"
+#include "util/error.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::util {
 
 std::size_t default_threads(std::size_t max_threads) {
   if (const char* env = std::getenv("SHAREDRES_THREADS")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
+    const std::string value(env);
+    if (!value.empty()) {
+      // Strict all-digits parse with overflow check: a pinned thread count
+      // that silently fell back to hardware concurrency would invalidate the
+      // experiment it was meant to pin, so anything else is a typed error.
+      unsigned long long v = 0;
+      bool ok = true;
+      for (const char c : value) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        if (v > (~0ull - static_cast<unsigned long long>(c - '0')) / 10) {
+          ok = false;  // would overflow unsigned long long
+          break;
+        }
+        v = v * 10 + static_cast<unsigned long long>(c - '0');
+      }
+      if (!ok || v == 0) {
+        throw Error(ErrorCode::kCliUsage,
+                    "SHAREDRES_THREADS must be a positive integer, got '" +
+                        value + "'");
+      }
       return std::min<std::size_t>(static_cast<std::size_t>(v), max_threads);
     }
   }
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t n = hw == 0 ? 1 : hw;
   return n < max_threads ? n : max_threads;
+}
+
+// ---- WorkerPool ------------------------------------------------------------
+
+WorkerPool::WorkerPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(queue_capacity, 1)) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  SHAREDRES_OBS_COUNT("pool.created");
+  SHAREDRES_OBS_COUNT_N_V("pool.workers_spawned", n);
+  workers_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor swallows task errors; callers that care call close().
+  }
+}
+
+void WorkerPool::submit(std::function<void(std::size_t)> task) {
+  SHAREDRES_OBS_COUNT("pool.tasks_submitted");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw std::logic_error("WorkerPool::submit after close");
+  if (queue_.size() >= capacity_) {
+    // Backpressure: the producer stalls instead of buffering the stream.
+    // Wait counts are scheduling-dependent, hence volatile.
+    SHAREDRES_OBS_COUNT_V("pool.backpressure_waits");
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) throw std::logic_error("WorkerPool::submit after close");
+  }
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void WorkerPool::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && workers_.empty()) {
+      if (first_error_) {
+        const std::exception_ptr err = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
+      return;
+    }
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerPool::worker_main(std::size_t index) {
+  for (;;) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      SHAREDRES_FAILPOINT("pool.task");
+      task(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
 }
 
 namespace detail {

@@ -1,0 +1,383 @@
+// The batch pipeline (src/batch): NDJSON record round trips and typed parse
+// errors, pipeline output equal to one-shot solves and byte-identical across
+// thread counts, mid-stream fault containment, and the engine/Schedule
+// reset-reuse API the pipeline's scratch recycling is built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "batch/pipeline.hpp"
+#include "batch/stream.hpp"
+#include "core/instance.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/schedule.hpp"
+#include "core/sos_engine.hpp"
+#include "core/sos_scheduler.hpp"
+#include "core/unit_engine.hpp"
+#include "core/validator.hpp"
+#include "io/text_io.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres::batch {
+namespace {
+
+core::Instance make(int machines, core::Res capacity,
+                    std::vector<core::Job> jobs) {
+  return core::Instance(machines, capacity, std::move(jobs));
+}
+
+workloads::SosConfig config(std::uint64_t seed, std::size_t jobs = 12,
+                            core::Res max_size = 3) {
+  workloads::SosConfig cfg;
+  cfg.machines = 4;
+  cfg.capacity = 1000;
+  cfg.jobs = jobs;
+  cfg.max_size = max_size;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run the pipeline over `lines`, returning (full output text, summary).
+std::pair<std::string, BatchSummary> run(const std::vector<std::string>& lines,
+                                         const BatchOptions& options) {
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  BatchSummary summary = run_batch(in, out, options);
+  return {out.str(), std::move(summary)};
+}
+
+std::vector<std::string> output_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---- stream records --------------------------------------------------------
+
+TEST(BatchStream, InstanceRecordRoundTripsInOriginalOrder) {
+  const core::Instance inst =
+      make(3, 50, {{2, 40}, {1, 5}, {4, 17}});  // deliberately unsorted
+  const std::string line = format_instance_record(inst, "case-7");
+
+  const InstanceRecord parsed = parse_instance_record(line);
+  EXPECT_EQ(parsed.id, "case-7");
+  EXPECT_EQ(parsed.instance.machines(), 3);
+  EXPECT_EQ(parsed.instance.capacity(), 50);
+  ASSERT_EQ(parsed.instance.size(), 3u);
+  // format emits the caller's original order, so a second format must be
+  // byte-identical (stable fixed point).
+  EXPECT_EQ(format_instance_record(parsed.instance, parsed.id), line);
+}
+
+TEST(BatchStream, ParseRejectsMalformedLinesWithTypedErrors) {
+  const std::vector<std::string> parse_errors = {
+      "",                                             // empty
+      "not json",                                     // not JSON
+      "[1,2]",                                        // not an object
+      R"({"capacity":5,"jobs":[]})",                  // missing machines
+      R"({"machines":"two","capacity":5,"jobs":[]})", // machines not a number
+      R"({"machines":2.5,"capacity":5,"jobs":[]})",   // non-integral
+      R"({"machines":2,"capacity":5,"jobs":{}})",     // jobs not an array
+      R"({"machines":2,"capacity":5,"jobs":[[1]]})",  // pair too short
+      R"({"machines":2,"capacity":5,"jobs":[[1,2,3]]})",  // pair too long
+      R"({"id":7,"machines":2,"capacity":5,"jobs":[]})",  // id not a string
+  };
+  for (const std::string& line : parse_errors) {
+    try {
+      (void)parse_instance_record(line);
+      FAIL() << "accepted: " << line;
+    } catch (const util::Error& e) {
+      EXPECT_EQ(e.code(), util::ErrorCode::kParse) << line;
+    }
+  }
+  // Well-formed JSON with invalid semantics surfaces Instance's own typed
+  // error, not a parse error.
+  try {
+    (void)parse_instance_record(R"({"machines":0,"capacity":5,"jobs":[]})");
+    FAIL() << "accepted machines=0";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kInvalidInstance);
+  }
+}
+
+TEST(BatchStream, ResultRecordFormatsOkAndErrorShapes) {
+  ResultRecord ok;
+  ok.index = 3;
+  ok.id = "a";
+  ok.ok = true;
+  ok.algorithm = "window";
+  ok.machines = 4;
+  ok.jobs = 2;
+  ok.makespan = 9;
+  ok.lower_bound = 7;
+  ok.blocks = 5;
+  const util::Json ok_doc = util::Json::parse(format_result_record(ok));
+  EXPECT_EQ(ok_doc.at("index").as_double(), 3);
+  EXPECT_EQ(ok_doc.at("id").as_string(), "a");
+  EXPECT_TRUE(ok_doc.at("ok").as_bool());
+  EXPECT_EQ(ok_doc.at("makespan").as_double(), 9);
+  EXPECT_FALSE(ok_doc.contains("error"));
+  EXPECT_FALSE(ok_doc.contains("schedule"));  // only with schedule_text set
+
+  ResultRecord bad;
+  bad.index = 4;
+  bad.ok = false;
+  bad.error_code = "parse";
+  bad.error_message = "boom";
+  const util::Json bad_doc = util::Json::parse(format_result_record(bad));
+  EXPECT_FALSE(bad_doc.at("ok").as_bool());
+  EXPECT_EQ(bad_doc.at("error").at("code").as_string(), "parse");
+  EXPECT_EQ(bad_doc.at("error").at("message").as_string(), "boom");
+  EXPECT_FALSE(bad_doc.contains("makespan"));
+}
+
+// ---- pipeline --------------------------------------------------------------
+
+TEST(BatchPipeline, MatchesOneShotSolvesAndCountsSummary) {
+  std::vector<core::Instance> instances;
+  std::vector<std::string> lines;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    instances.push_back(workloads::uniform_instance(config(seed)));
+    lines.push_back(format_instance_record(instances.back(),
+                                           "s" + std::to_string(seed)));
+  }
+  const auto [text, summary] = run(lines, BatchOptions{});
+  EXPECT_EQ(summary.records, 6u);
+  EXPECT_EQ(summary.ok, 6u);
+  EXPECT_EQ(summary.failed, 0u);
+
+  const std::vector<std::string> out = output_lines(text);
+  ASSERT_EQ(out.size(), 7u);  // 6 results + summary
+  std::uint64_t makespan_sum = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const util::Json doc = util::Json::parse(out[i]);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("index").as_double(), static_cast<double>(i));
+    const core::Schedule solo = core::schedule_sos(instances[i]);
+    EXPECT_EQ(doc.at("makespan").as_double(),
+              static_cast<double>(solo.makespan()));
+    EXPECT_EQ(doc.at("lower_bound").as_double(),
+              static_cast<double>(core::lower_bounds(instances[i]).combined()));
+    EXPECT_EQ(doc.at("blocks").as_double(),
+              static_cast<double>(solo.blocks().size()));
+    makespan_sum += static_cast<std::uint64_t>(solo.makespan());
+  }
+  EXPECT_EQ(summary.makespan_sum, makespan_sum);
+  const util::Json sum_doc = util::Json::parse(out.back());
+  EXPECT_TRUE(sum_doc.at("summary").as_bool());
+  EXPECT_EQ(sum_doc.at("records").as_double(), 6);
+  EXPECT_EQ(
+      sum_doc.at("metrics").at("counters").at("batch.records_ok").as_double(),
+      6);
+}
+
+TEST(BatchPipeline, EveryAlgorithmMatchesItsOneShotEntryPoint) {
+  const core::Instance general = workloads::uniform_instance(config(11));
+  const core::Instance unit =
+      workloads::uniform_instance(config(12, 10, /*max_size=*/1));
+
+  const std::vector<std::pair<std::string, core::Time>> cases = {
+      {"window", core::schedule_sos(general).makespan()},
+      {"gg", baselines::schedule_garey_graham(general).makespan()},
+      {"equalsplit", baselines::schedule_equal_split(general).makespan()},
+      {"sequential", baselines::schedule_sequential(general).makespan()},
+  };
+  for (const auto& [algorithm, expected] : cases) {
+    BatchOptions options;
+    options.algorithm = algorithm;
+    const auto [text, summary] =
+        run({format_instance_record(general)}, options);
+    EXPECT_EQ(summary.ok, 1u) << algorithm;
+    const util::Json doc = util::Json::parse(output_lines(text)[0]);
+    EXPECT_EQ(doc.at("makespan").as_double(), static_cast<double>(expected))
+        << algorithm;
+  }
+
+  BatchOptions unit_options;
+  unit_options.algorithm = "unit";
+  const auto [text, summary] = run({format_instance_record(unit)}, unit_options);
+  EXPECT_EQ(summary.ok, 1u);
+  const util::Json doc = util::Json::parse(output_lines(text)[0]);
+  EXPECT_EQ(doc.at("makespan").as_double(),
+            static_cast<double>(core::schedule_sos_unit(unit).makespan()));
+}
+
+TEST(BatchPipeline, OutputByteIdenticalAcrossThreadCounts) {
+  std::vector<std::string> lines;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    lines.push_back(format_instance_record(
+        workloads::uniform_instance(config(seed)), "s" + std::to_string(seed)));
+    if (seed % 7 == 0) lines.push_back("mid-stream garbage");
+  }
+  BatchOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  const auto [reference, ref_summary] = run(lines, options);
+  EXPECT_EQ(ref_summary.failed, 2u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    options.threads = threads;
+    const auto [text, summary] = run(lines, options);
+    EXPECT_EQ(text, reference) << "threads=" << threads;
+    EXPECT_EQ(summary.metrics, ref_summary.metrics) << "threads=" << threads;
+  }
+}
+
+TEST(BatchPipeline, MalformedRecordMidStreamDoesNotAbortTheBatch) {
+  const std::vector<std::string> lines = {
+      format_instance_record(workloads::uniform_instance(config(1)), "first"),
+      R"({"machines":2,"capacity":0,"jobs":[]})",  // invalid capacity
+      format_instance_record(workloads::uniform_instance(config(2)), "last"),
+  };
+  const auto [text, summary] = run(lines, BatchOptions{});
+  EXPECT_EQ(summary.records, 3u);
+  EXPECT_EQ(summary.ok, 2u);
+  EXPECT_EQ(summary.failed, 1u);
+  const std::vector<std::string> out = output_lines(text);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(util::Json::parse(out[0]).at("ok").as_bool());
+  const util::Json error_doc = util::Json::parse(out[1]);
+  EXPECT_FALSE(error_doc.at("ok").as_bool());
+  EXPECT_EQ(error_doc.at("error").at("code").as_string(), "invalid_instance");
+  EXPECT_TRUE(util::Json::parse(out[2]).at("ok").as_bool());
+  EXPECT_EQ(util::Json::parse(out[2]).at("id").as_string(), "last");
+}
+
+TEST(BatchPipeline, EmitSchedulesEmbedsTheOneShotScheduleText) {
+  const core::Instance inst = workloads::uniform_instance(config(5));
+  BatchOptions options;
+  options.emit_schedules = true;
+  const auto [text, summary] = run({format_instance_record(inst)}, options);
+  EXPECT_EQ(summary.ok, 1u);
+
+  std::ostringstream expected;
+  io::write_schedule(expected, core::schedule_sos(inst));
+  const util::Json doc = util::Json::parse(output_lines(text)[0]);
+  EXPECT_EQ(doc.at("schedule").as_string(), expected.str());
+}
+
+TEST(BatchPipeline, SkipsBlankLinesWithoutConsumingIndices) {
+  const std::vector<std::string> lines = {
+      "",
+      format_instance_record(workloads::uniform_instance(config(1))),
+      "   \t",
+      format_instance_record(workloads::uniform_instance(config(2))),
+  };
+  const auto [text, summary] = run(lines, BatchOptions{});
+  EXPECT_EQ(summary.records, 2u);
+  const std::vector<std::string> out = output_lines(text);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(util::Json::parse(out[1]).at("index").as_double(), 1);
+}
+
+TEST(BatchPipeline, RejectsUnknownAlgorithmBeforeReadingTheStream) {
+  BatchOptions options;
+  options.algorithm = "nope";
+  std::istringstream in("not even json\n");
+  std::ostringstream out;
+  try {
+    (void)run_batch(in, out, options);
+    FAIL() << "unknown algorithm accepted";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kCliUsage);
+  }
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(BatchPipeline, EmptyStreamYieldsOnlyASummaryLine) {
+  const auto [text, summary] = run({}, BatchOptions{});
+  EXPECT_EQ(summary.records, 0u);
+  const std::vector<std::string> out = output_lines(text);
+  ASSERT_EQ(out.size(), 1u);
+  const util::Json doc = util::Json::parse(out[0]);
+  EXPECT_TRUE(doc.at("summary").as_bool());
+  EXPECT_EQ(doc.at("records").as_double(), 0);
+}
+
+// ---- reset-reuse API -------------------------------------------------------
+
+TEST(BatchReset, SosEngineResetMatchesFreshEngineAcrossInstances) {
+  // One engine reused across instances of very different shapes must emit
+  // exactly the schedule a fresh engine would — including after shrinking.
+  const std::vector<core::Instance> instances = {
+      workloads::uniform_instance(config(1, 40)),
+      workloads::uniform_instance(config(2, 3)),
+      workloads::uniform_instance(config(3, 25)),
+      make(3, 10, {{1, 10}, {1, 10}, {1, 10}}),
+  };
+  std::optional<core::SosEngine> reused;
+  core::Schedule reused_out;
+  for (const core::Instance& inst : instances) {
+    const core::SosEngine::Params params{
+        .window_cap = static_cast<std::size_t>(inst.machines() - 1),
+        .budget = inst.capacity(),
+        .allow_extra_job = true,
+    };
+    if (reused) {
+      reused->reset(inst, params);
+    } else {
+      reused.emplace(inst, params);
+    }
+    reused_out.reset();
+    reused->run(reused_out);
+
+    core::SosEngine fresh(inst, params);
+    core::Schedule fresh_out;
+    fresh.run(fresh_out);
+    EXPECT_EQ(reused_out, fresh_out);
+    EXPECT_TRUE(core::validate(inst, reused_out).ok);
+  }
+}
+
+TEST(BatchReset, UnitEngineResetMatchesFreshEngineAcrossInstances) {
+  const std::vector<core::Instance> instances = {
+      workloads::uniform_instance(config(7, 30, 1)),
+      workloads::uniform_instance(config(8, 4, 1)),
+      workloads::uniform_instance(config(9, 18, 1)),
+  };
+  std::optional<core::UnitEngine> reused;
+  core::Schedule reused_out;
+  for (const core::Instance& inst : instances) {
+    if (reused) {
+      reused->reset(inst);
+    } else {
+      reused.emplace(inst);
+    }
+    reused_out.reset();
+    reused->run(reused_out);
+
+    core::UnitEngine fresh(inst);
+    core::Schedule fresh_out;
+    fresh.run(fresh_out);
+    EXPECT_EQ(reused_out, fresh_out);
+    EXPECT_TRUE(core::validate(inst, reused_out).ok);
+  }
+}
+
+TEST(BatchReset, ScheduleResetClearsContentAndKeepsBlockCapacity) {
+  core::Schedule schedule;
+  for (int i = 0; i < 16; ++i) {
+    schedule.append(1, {{static_cast<core::JobId>(i), 1 + i}});
+  }
+  const std::size_t capacity_before = schedule.blocks().capacity();
+  ASSERT_GT(schedule.makespan(), 0);
+
+  schedule.reset();
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.makespan(), 0);
+  EXPECT_EQ(schedule.blocks().capacity(), capacity_before);
+}
+
+}  // namespace
+}  // namespace sharedres::batch

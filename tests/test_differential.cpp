@@ -1,28 +1,43 @@
-// Differential sweep: tiny random instances through the exact solver and
-// BOTH approximation engines (general window engine and the unit-size
-// engine), asserting on every instance that
-//   * each engine's schedule is validator-clean (validate_all: zero
-//     violations, not just first-failure),
-//   * the general engine meets Theorem 3.3: |S| <= (2 + 1/(m-2)) * |OPT|
-//     for m >= 3 (for m = 2 only feasibility is guaranteed),
-//   * the unit engine meets |S| <= m/(m-1) * |OPT| + 1 on unit-size
-//     instances (Section 3 modification),
-//   * Eq. (1) is a valid lower bound: LB <= OPT.
+// Differential sweeps: tiny seeded instances through an exact solver and
+// every approximation family in the repo, one sweep per family.
 //
-// All randomness is seeded: tiny_grid_instance derives every draw from the
-// (m, n, seed) parameter via util::Rng (xoshiro256**) — the repo has no
-// unseeded std::mt19937/random_device anywhere, so each sweep case is fully
-// reproducible from its parameter tuple. Label tier1_slow: the exact solver
-// dominates the runtime (still matched by `ctest -L tier1`).
+//  * DifferentialSweep — the SoS engines (general window engine and the
+//    unit-size engine) against exact_makespan: validator-clean schedules
+//    (validate_all: zero violations, not just first-failure), Theorem 3.3
+//    |S| <= (2 + 1/(m-2)) * |OPT| for m >= 3 (m = 2: feasibility only),
+//    the unit bound |S| <= m/(m-1) * |OPT| + 1, and Eq. (1) LB <= OPT.
+//  * SasDifferentialSweep — the Section-4 scheduler against
+//    exact_sas_sum_completion: sas::validate-clean, Theorem 4.8
+//    sum <= (2 + 4/(m-3)) * OPT + k, and Lemma 4.3 LB <= OPT.
+//  * PackingDifferentialSweep — every binpack packer against
+//    exact_bin_count, plus the Corollary 3.9 *equivalence*: the window
+//    packer's bin count must equal the unit-SoS makespan of the translated
+//    instance (items -> unit jobs, bins -> time steps), bin for bin.
+//
+// All randomness is seeded: every draw derives from the parameter tuple via
+// util::Rng (xoshiro256**) — the repo has no unseeded
+// std::mt19937/random_device anywhere, so each sweep case is fully
+// reproducible from its parameter tuple. Label tier1_slow: the exact
+// solvers dominate the runtime (still matched by `ctest -L tier1`).
+#include <cstddef>
 #include <optional>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "binpack/packers.hpp"
+#include "binpack/packing.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
+#include "exact/exact_sas.hpp"
 #include "exact/exact_sos.hpp"
+#include "sas/sas_bounds.hpp"
+#include "sas/sas_scheduler.hpp"
+#include "util/prng.hpp"
 #include "workloads/sos_generators.hpp"
 
 namespace sharedres {
@@ -121,6 +136,152 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DiffParam>& param_info) {
       return "m" + std::to_string(std::get<0>(param_info.param)) + "_n" +
              std::to_string(std::get<1>(param_info.param)) + "_g" +
+             std::to_string(std::get<2>(param_info.param)) + "_s" +
+             std::to_string(std::get<3>(param_info.param));
+    });
+
+// ---- SAS (Section 4) vs exact sum of completion times ----------------------
+
+/// (capacity, tasks, seed); m is pinned to 4, schedule_sas's minimum — the
+/// Theorem 4.8 factor 2 + 4/(m−3) is then exactly 6.
+using SasDiffParam = std::tuple<core::Res, int, std::uint64_t>;
+
+class SasDifferentialSweep : public ::testing::TestWithParam<SasDiffParam> {
+ protected:
+  static sas::SasInstance make() {
+    const auto [capacity, task_count, seed] = GetParam();
+    util::Rng rng(seed);
+    sas::SasInstance inst;
+    inst.machines = 4;
+    inst.capacity = capacity;
+    for (int t = 0; t < task_count; ++t) {
+      sas::Task task;
+      const auto jobs = static_cast<std::size_t>(rng.uniform_int(1, 3));
+      for (std::size_t j = 0; j < jobs; ++j) {
+        // +2 lets some jobs exceed the capacity (multi-step jobs).
+        task.requirements.push_back(rng.uniform_int(1, capacity + 2));
+      }
+      inst.tasks.push_back(std::move(task));
+    }
+    return inst;
+  }
+};
+
+TEST_P(SasDifferentialSweep, SchedulerWithinTheorem48RatioOfExactOptimum) {
+  const sas::SasInstance inst = make();
+  const auto opt =
+      exact::exact_sas_sum_completion(inst, {.max_states = 600'000});
+  if (!opt.has_value()) GTEST_SKIP() << "exact search exceeded state limit";
+
+  const sas::SasResult result = sas::schedule_sas(inst);
+  const sas::SasValidation check = sas::validate(inst, result);
+  ASSERT_TRUE(check.ok) << check.error;
+  ASSERT_GE(result.sum_completion, *opt);
+  // Theorem 4.8 at m = 4: sum <= 6 * OPT + k, exactly in integers.
+  EXPECT_LE(result.sum_completion,
+            6 * *opt + static_cast<Time>(inst.tasks.size()))
+      << "sum=" << result.sum_completion << " OPT=" << *opt;
+  // Lemma 4.3 must lower-bound the true optimum, not just the algorithm.
+  EXPECT_LE(sas::sas_lower_bound(inst), *opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinySas, SasDifferentialSweep,
+    ::testing::Values(SasDiffParam{4, 1, 11}, SasDiffParam{4, 2, 12},
+                      SasDiffParam{5, 2, 13}, SasDiffParam{5, 3, 14},
+                      SasDiffParam{6, 2, 15}, SasDiffParam{6, 3, 16},
+                      SasDiffParam{7, 3, 17}, SasDiffParam{8, 2, 18},
+                      SasDiffParam{8, 3, 19}, SasDiffParam{4, 3, 20}),
+    [](const ::testing::TestParamInfo<SasDiffParam>& param_info) {
+      return "C" + std::to_string(std::get<0>(param_info.param)) + "_k" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// ---- Bin packing vs exact bin count and the Corollary 3.9 equivalence ------
+
+/// (cardinality k, capacity C, items n, seed).
+using PackDiffParam = std::tuple<int, core::Res, std::size_t, std::uint64_t>;
+
+class PackingDifferentialSweep
+    : public ::testing::TestWithParam<PackDiffParam> {
+ protected:
+  static binpack::PackingInstance make() {
+    const auto [k, capacity, n, seed] = GetParam();
+    util::Rng rng(seed);
+    binpack::PackingInstance inst;
+    inst.capacity = capacity;
+    inst.cardinality = k;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Up to 1.5·C so some items must split across bins.
+      inst.items.push_back(rng.uniform_int(1, capacity + capacity / 2));
+    }
+    return inst;
+  }
+};
+
+TEST_P(PackingDifferentialSweep, WindowPackerEqualsUnitSosMakespan) {
+  // Corollary 3.9 both ways: the window packer IS the unit-size sliding
+  // window scheduler with m = k read bin-per-step, so its bin count must
+  // equal that scheduler's makespan on the translated instance exactly —
+  // not merely approximate it. A divergence means one side's translation
+  // drifted.
+  const binpack::PackingInstance inst = make();
+  const binpack::Packing packing = binpack::sliding_window_packing(inst);
+  const auto check = binpack::validate(inst, packing);
+  ASSERT_TRUE(check.ok) << check.error;
+
+  std::vector<core::Job> jobs;
+  jobs.reserve(inst.items.size());
+  for (const core::Res w : inst.items) jobs.push_back(core::Job{1, w});
+  const Instance unit_inst(inst.cardinality, inst.capacity, std::move(jobs));
+  const core::Schedule schedule = core::schedule_sos_unit(unit_inst);
+  EXPECT_EQ(static_cast<Time>(packing.bin_count()), schedule.makespan());
+}
+
+TEST_P(PackingDifferentialSweep, EveryPackerValidatesAndRespectsExact) {
+  const binpack::PackingInstance inst = make();
+  const auto opt = exact::exact_bin_count(inst, {.max_states = 2'000'000});
+  if (!opt.has_value()) GTEST_SKIP() << "exact search exceeded state limit";
+  EXPECT_LE(binpack::packing_lower_bounds(inst).combined(), *opt);
+
+  std::vector<std::pair<std::string, binpack::Packing>> packings;
+  packings.emplace_back("window", binpack::sliding_window_packing(inst));
+  packings.emplace_back("next_fit", binpack::next_fit_packing(inst));
+  packings.emplace_back("next_fit_decreasing",
+                        binpack::next_fit_packing(inst, true));
+  packings.emplace_back("first_fit_decreasing",
+                        binpack::first_fit_decreasing_packing(inst));
+  if (inst.cardinality == 2) {
+    packings.emplace_back("pairing", binpack::pairing_packing(inst));
+  }
+  for (const auto& [name, packing] : packings) {
+    const auto check = binpack::validate(inst, packing);
+    ASSERT_TRUE(check.ok) << name << ": " << check.error;
+    EXPECT_GE(packing.bin_count(), *opt) << name;
+  }
+
+  // Only the window packer carries the Corollary 3.9 guarantee; the +1
+  // absorbs the asymptotic additive term as in the unit-size SoS bound.
+  const double bound = binpack::sliding_window_ratio_bound(inst.cardinality) *
+                           static_cast<double>(*opt) +
+                       1.0 + 1e-9;
+  EXPECT_LE(static_cast<double>(packings.front().second.bin_count()), bound)
+      << "bins " << packings.front().second.bin_count() << " vs OPT "
+      << *opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyPacking, PackingDifferentialSweep,
+    ::testing::Values(PackDiffParam{2, 6, 4, 31}, PackDiffParam{2, 8, 5, 32},
+                      PackDiffParam{2, 10, 6, 33}, PackDiffParam{3, 6, 5, 34},
+                      PackDiffParam{3, 8, 6, 35}, PackDiffParam{3, 10, 5, 36},
+                      PackDiffParam{4, 8, 6, 37}, PackDiffParam{4, 10, 5, 38},
+                      PackDiffParam{5, 10, 6, 39},
+                      PackDiffParam{5, 12, 7, 40}),
+    [](const ::testing::TestParamInfo<PackDiffParam>& param_info) {
+      return "k" + std::to_string(std::get<0>(param_info.param)) + "_C" +
+             std::to_string(std::get<1>(param_info.param)) + "_n" +
              std::to_string(std::get<2>(param_info.param)) + "_s" +
              std::to_string(std::get<3>(param_info.param));
     });

@@ -144,6 +144,62 @@ TEST(ObsRegistry, MetricsExportIsSortedByName) {
   ASSERT_NE(views[2].counter, nullptr);
 }
 
+TEST(ObsRegistry, MergeFromAddsAllKindsAndRegistersMissing) {
+  Registry dst;
+  dst.counter("c").add(5);
+  dst.histogram("h", {10, 20}).observe(3);
+
+  Registry src;
+  src.counter("c").add(7);
+  src.counter("only_src", Det::kVolatile).add(2);
+  src.gauge("g").add(-4);
+  src.histogram("h", {10, 20}).observe(15);
+  src.histogram("h", {10, 20}).observe(99);
+
+  dst.merge_from(src);
+
+  EXPECT_EQ(dst.counter("c").value(), 12u);
+  EXPECT_EQ(dst.counter("only_src", Det::kVolatile).value(), 2u);
+  EXPECT_EQ(dst.gauge("g").value(), -4);
+  EXPECT_EQ(dst.histogram("h", {10, 20}).counts(),
+            (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(dst.histogram("h", {10, 20}).count(), 3u);
+  EXPECT_EQ(dst.histogram("h", {10, 20}).sum(), 3u + 15u + 99u);
+  // src is untouched.
+  EXPECT_EQ(src.counter("c").value(), 7u);
+}
+
+TEST(ObsRegistry, MergeIsOrderIndependent) {
+  // The batch pipeline's determinism contract: per-worker registries merged
+  // in any order must equal the totals a single shared registry would hold.
+  Registry a, b, fwd, rev;
+  a.counter("x").add(3);
+  a.histogram("h", {5}).observe(1);
+  b.counter("x").add(9);
+  b.counter("y").add(1);
+  b.histogram("h", {5}).observe(7);
+
+  fwd.merge_from(a);
+  fwd.merge_from(b);
+  rev.merge_from(b);
+  rev.merge_from(a);
+
+  EXPECT_EQ(fwd.counter("x").value(), rev.counter("x").value());
+  EXPECT_EQ(fwd.counter("y").value(), rev.counter("y").value());
+  EXPECT_EQ(fwd.histogram("h", {5}).counts(), rev.histogram("h", {5}).counts());
+  EXPECT_EQ(fwd.histogram("h", {5}).sum(), rev.histogram("h", {5}).sum());
+}
+
+TEST(ObsRegistry, MergeFromRejectsSelfAndMismatches) {
+  Registry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.merge_from(reg), std::logic_error);
+
+  Registry other;
+  other.gauge("m");  // same name, different kind
+  EXPECT_THROW(reg.merge_from(other), std::logic_error);
+}
+
 TEST(ObsEventRing, BoundedOverwriteKeepsNewest) {
   EventRing ring(4);
   for (int i = 0; i < 10; ++i) ring.record("e" + std::to_string(i), i);

@@ -1,6 +1,7 @@
 // util::parallel_for / parallel_map: completeness, determinism of collected
-// results, exception propagation, chunk hybrid behavior, and the
-// SHAREDRES_THREADS override.
+// results, exception propagation, chunk hybrid behavior, the
+// SHAREDRES_THREADS override (including its typed rejection of invalid
+// values), and the bounded WorkerPool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,6 +9,7 @@
 #include <numeric>
 #include <string>
 
+#include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace sharedres::util {
@@ -96,27 +98,118 @@ TEST(Parallel, MapDeterministicUnderSkewAndThreadCount) {
   }
 }
 
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    const char* old = std::getenv("SHAREDRES_THREADS");
+    had_ = old != nullptr;
+    saved_ = old ? old : "";
+  }
+  ~ThreadsEnvGuard() {
+    if (had_) {
+      ::setenv("SHAREDRES_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SHAREDRES_THREADS");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
 TEST(Parallel, DefaultThreadsHonorsEnvOverride) {
-  const char* old = std::getenv("SHAREDRES_THREADS");
-  const std::string saved = old ? old : "";
+  const ThreadsEnvGuard guard;
 
   ::setenv("SHAREDRES_THREADS", "3", 1);
   EXPECT_EQ(default_threads(), 3u);
   EXPECT_EQ(default_threads(2), 2u);  // still capped by max_threads
 
-  // Malformed or non-positive values fall back to hardware concurrency.
-  ::setenv("SHAREDRES_THREADS", "0", 1);
-  EXPECT_GE(default_threads(), 1u);
-  ::setenv("SHAREDRES_THREADS", "abc", 1);
-  EXPECT_GE(default_threads(), 1u);
-  ::setenv("SHAREDRES_THREADS", "4x", 1);
+  // An empty value counts as unset (common `VAR= cmd` shell pattern).
+  ::setenv("SHAREDRES_THREADS", "", 1);
   EXPECT_GE(default_threads(), 1u);
 
-  if (old) {
-    ::setenv("SHAREDRES_THREADS", saved.c_str(), 1);
-  } else {
-    ::unsetenv("SHAREDRES_THREADS");
+  ::unsetenv("SHAREDRES_THREADS");
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(Parallel, DefaultThreadsRejectsInvalidEnvWithTypedError) {
+  const ThreadsEnvGuard guard;
+
+  // A pinned-but-unusable thread count must not silently fall back to
+  // hardware concurrency: it would unpin exactly what it was set to pin.
+  for (const char* bad : {"0", "-3", "abc", "4x", " 4", "+4", "3.5",
+                          "99999999999999999999999"}) {
+    ::setenv("SHAREDRES_THREADS", bad, 1);
+    try {
+      (void)default_threads();
+      FAIL() << "SHAREDRES_THREADS='" << bad << "' was accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCliUsage) << bad;
+      EXPECT_NE(std::string(e.what()).find("SHAREDRES_THREADS"),
+                std::string::npos)
+          << bad;
+    }
   }
+}
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnceAcrossShapes) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t cap : {1u, 3u, 64u}) {
+      constexpr std::size_t kTasks = 300;
+      std::vector<std::atomic<int>> hits(kTasks);
+      WorkerPool pool(threads, cap);
+      EXPECT_EQ(pool.threads(), threads);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        pool.submit([&hits, i](std::size_t worker) {
+          EXPECT_LT(worker, 8u);
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      pool.close();
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "threads=" << threads << " cap=" << cap << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, BoundedQueueAppliesBackpressure) {
+  // One deliberately slow worker and a tiny queue: the producer can never
+  // observe more than queue_capacity pending + threads running tasks ahead
+  // of the completion count, or the bound is not real.
+  constexpr std::size_t kCap = 2;
+  std::atomic<std::size_t> completed{0};
+  WorkerPool pool(1, kCap);
+  std::size_t max_ahead = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    pool.submit([&completed](std::size_t) {
+      volatile std::size_t sink = 0;
+      for (std::size_t k = 0; k < 20'000; ++k) sink = sink + k;
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    const std::size_t ahead = i + 1 - completed.load();
+    max_ahead = std::max(max_ahead, ahead);
+  }
+  pool.close();
+  EXPECT_EQ(completed.load(), 50u);
+  // submitted - completed <= queued (<= kCap) + in flight (<= 1 thread) + 1
+  // for the submit that just returned.
+  EXPECT_LE(max_ahead, kCap + 2);
+}
+
+TEST(WorkerPool, CloseRethrowsFirstTaskError) {
+  WorkerPool pool(2, 4);
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([i](std::size_t) {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.close(), std::runtime_error);
+  // close() is idempotent once the error has been delivered.
+  EXPECT_NO_THROW(pool.close());
+  EXPECT_THROW(pool.submit([](std::size_t) {}), std::logic_error);
 }
 
 }  // namespace

@@ -2,31 +2,46 @@
 //
 //   sharedres_cli gen      --family=uniform --machines=8 --jobs=100
 //                          [--capacity=1000000] [--max-size=4] [--seed=1]
-//                          [--out=inst.txt]
+//                          [--count=N --format=ndjson] [--out=inst.txt]
 //   sharedres_cli solve    --instance=inst.txt
 //                          [--algorithm=window|unit|gg|equalsplit|sequential]
 //                          [--out=sched.txt] [--gantt]
 //   sharedres_cli validate --instance=inst.txt --schedule=sched.txt [--json]
 //   sharedres_cli bounds   --instance=inst.txt
+//   sharedres_cli batch    --in=stream.ndjson | --dir=instances/
+//                          [--algorithm=...] [--threads=N] [--queue=N]
+//                          [--emit-schedules] [--out=results.ndjson]
 //
-// `gen` writes a reproducible instance; `solve` schedules it, reports the
-// makespan against the Eq. (1) lower bound and optionally dumps the
-// schedule and an ASCII Gantt chart; `validate` re-checks a schedule file
-// (with --json it prints every violation as a structured record).
+// `gen` writes a reproducible instance (or, with --count=N --format=ndjson,
+// a stream of N instances with seeds seed..seed+N-1, each identical to the
+// corresponding single `gen --seed=<s>` run); `solve` schedules one
+// instance, reports the makespan against the Eq. (1) lower bound and
+// optionally dumps the schedule and an ASCII Gantt chart; `validate`
+// re-checks a schedule file (with --json it prints every violation as a
+// structured record); `batch` runs a whole NDJSON stream (or a directory of
+// text instances) through the pipeline in src/batch — one result line per
+// record in input order, then a summary line.
 //
 // Exit-code contract (stable; scripts and CI depend on it):
-//   0  success / feasible schedule
-//   1  infeasible schedule, invalid packing, or internal failure
+//   0  success / feasible schedule / batch with zero failed records
+//   1  infeasible schedule, invalid packing, internal failure, or a batch
+//      in which at least one record failed (the batch still ran to the end)
 //   2  usage error (unknown command, bad flag value, missing required flag)
 //   3  input error (unreadable file, parse error, semantically invalid
 //      instance, arithmetic overflow caused by input magnitudes)
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include <sstream>
 
 #include "baselines/baselines.hpp"
+#include "batch/pipeline.hpp"
+#include "batch/stream.hpp"
 #include "binpack/packers.hpp"
 #include "core/lower_bounds.hpp"
 #include "obs/json_export.hpp"
@@ -41,6 +56,7 @@
 #include "sim/assignment.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "workloads/sos_generators.hpp"
 
 namespace {
@@ -55,8 +71,10 @@ constexpr int kExitInput = 3;
 
 int usage() {
   std::cerr
-      << "usage: sharedres_cli <gen|solve|validate|bounds|pack|sas> [--flags]\n"
-         "  gen      --family=... --machines=M --jobs=N [--out=f]\n"
+      << "usage: sharedres_cli <gen|solve|validate|bounds|pack|sas|batch> "
+         "[--flags]\n"
+         "  gen      --family=... --machines=M --jobs=N [--count=K "
+         "--format=ndjson] [--out=f]\n"
          "  solve    --instance=f [--algorithm=window|unit|gg|equalsplit|"
          "sequential] [--gantt] [--stats] [--svg=f.svg] [--out=f]\n"
          "  validate --instance=f --schedule=f [--json] [--max-violations=N]\n"
@@ -64,6 +82,8 @@ int usage() {
          "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
          "nfd|ffd|pairing] [--out=f]\n"
          "  sas      --instance=<sas file> [--weights=w1,w2,...]\n"
+         "  batch    --in=stream.ndjson|- | --dir=d [--algorithm=...] "
+         "[--threads=N] [--queue=N] [--emit-schedules] [--out=f]\n"
          "global: --metrics-json=<file> dumps the observability registry\n"
          "        (src/obs) after any command, successful or not\n"
          "exit codes: 0 ok | 1 infeasible | 2 usage | 3 input error\n";
@@ -78,8 +98,49 @@ int cmd_gen(const util::Cli& cli) {
   cfg.max_size = cli.get_int("max-size", 4);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const std::string family = cli.get("family", "uniform");
-  const core::Instance inst = workloads::make_instance(family, cfg);
+  const std::string format = cli.get("format", "text");
+  const std::int64_t count = cli.get_int("count", 1);
+  if (format != "text" && format != "ndjson") {
+    std::cerr << "gen: unknown --format=" << format << "\n";
+    return kExitUsage;
+  }
+  if (count < 1) {
+    std::cerr << "gen: --count must be >= 1\n";
+    return kExitUsage;
+  }
+  if (count > 1 && format != "ndjson") {
+    std::cerr << "gen: --count=" << count << " requires --format=ndjson\n";
+    return kExitUsage;
+  }
   const std::string out = cli.get("out", "");
+
+  if (format == "ndjson") {
+    // One record per line, seeds seed..seed+count-1. Record k is identical
+    // to the instance a single `gen --seed=<seed+k>` run would emit — the
+    // correspondence the batch-determinism script relies on.
+    std::ofstream file;
+    if (!out.empty()) {
+      file.open(out);
+      if (!file) {
+        std::cerr << "cannot open " << out << "\n";
+        return kExitInput;
+      }
+    }
+    std::ostream& os = out.empty() ? std::cout : file;
+    for (std::int64_t k = 0; k < count; ++k) {
+      const core::Instance inst = workloads::make_instance(family, cfg);
+      os << batch::format_instance_record(
+                inst, family + "-s" + std::to_string(cfg.seed))
+         << "\n";
+      ++cfg.seed;
+    }
+    if (!out.empty()) {
+      std::cout << "wrote " << count << " instances to " << out << "\n";
+    }
+    return kExitOk;
+  }
+
+  const core::Instance inst = workloads::make_instance(family, cfg);
   if (out.empty()) {
     io::write_instance(std::cout, inst);
   } else {
@@ -87,6 +148,101 @@ int cmd_gen(const util::Cli& cli) {
     std::cout << "wrote " << inst.size() << " jobs to " << out << "\n";
   }
   return kExitOk;
+}
+
+/// Convert a directory of text instances (sorted by filename, so the record
+/// order is reproducible) into an in-memory NDJSON stream. A file that does
+/// not parse as an instance is forwarded as a single raw line: the pipeline
+/// turns it into a typed per-record parse error without aborting the batch,
+/// which is exactly the mid-stream-malformed contract of the NDJSON path.
+std::string slurp_instance_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::string ndjson;
+  for (const fs::path& path : files) {
+    try {
+      const core::Instance inst = io::load_instance(path.string());
+      ndjson += batch::format_instance_record(inst, path.filename().string());
+    } catch (const util::Error&) {
+      std::ifstream in(path);
+      std::string content((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+      std::replace(content.begin(), content.end(), '\n', ' ');
+      ndjson += content;
+    }
+    ndjson += '\n';
+  }
+  return ndjson;
+}
+
+int cmd_batch(const util::Cli& cli) {
+  const std::string in_path = cli.get("in", "");
+  const std::string dir = cli.get("dir", "");
+  if (in_path.empty() == dir.empty()) {
+    std::cerr << "batch: exactly one of --in=<file|-> or --dir=<dir> "
+                 "required\n";
+    return kExitUsage;
+  }
+
+  batch::BatchOptions options;
+  options.algorithm = cli.get("algorithm", "window");
+  // run_batch re-validates, but an unknown algorithm is a usage error here
+  // (exit 2), before any input is touched — same policy as `solve`.
+  if (options.algorithm != "window" && options.algorithm != "unit" &&
+      options.algorithm != "gg" && options.algorithm != "equalsplit" &&
+      options.algorithm != "sequential") {
+    std::cerr << "batch: unknown --algorithm=" << options.algorithm << "\n";
+    return kExitUsage;
+  }
+  const std::int64_t threads = cli.get_int(
+      "threads", static_cast<std::int64_t>(util::default_threads()));
+  const std::int64_t queue = cli.get_int("queue", 64);
+  if (threads < 1 || queue < 1) {
+    std::cerr << "batch: --threads and --queue must be >= 1\n";
+    return kExitUsage;
+  }
+  options.threads = static_cast<std::size_t>(threads);
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  options.emit_schedules = cli.has("emit-schedules");
+
+  const std::string out_path = cli.get("out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return kExitInput;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  batch::BatchSummary summary;
+  if (!dir.empty()) {
+    if (!std::filesystem::is_directory(dir)) {
+      std::cerr << "cannot open directory " << dir << "\n";
+      return kExitInput;
+    }
+    std::istringstream in(slurp_instance_dir(dir));
+    summary = batch::run_batch(in, out, options);
+  } else if (in_path == "-") {
+    summary = batch::run_batch(std::cin, out, options);
+  } else {
+    std::ifstream in(in_path);
+    if (!in) {
+      std::cerr << "cannot open " << in_path << "\n";
+      return kExitInput;
+    }
+    summary = batch::run_batch(in, out, options);
+  }
+  if (!out_path.empty()) {
+    std::cerr << "batch: " << summary.records << " records, " << summary.ok
+              << " ok, " << summary.failed << " failed\n";
+  }
+  return summary.failed == 0 ? kExitOk : kExitInfeasible;
 }
 
 int cmd_solve(const util::Cli& cli) {
@@ -357,6 +513,7 @@ int main(int argc, char** argv) {
     if (command == "bounds") rc = cmd_bounds(cli);
     if (command == "pack") rc = cmd_pack(cli);
     if (command == "sas") rc = cmd_sas(cli);
+    if (command == "batch") rc = cmd_batch(cli);
     if (rc >= 0) {
       maybe_save_metrics(cli);
       return rc;
