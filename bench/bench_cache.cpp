@@ -1,0 +1,168 @@
+// E13 — solve-cache throughput on duplicate-heavy streams: how much does
+// canonical-instance memoization buy when most records repeat work already
+// done?  Two runs of batch::run_batch over the SAME generated NDJSON stream:
+//
+//   * cache_off — the plain pipeline (every record solved from scratch),
+//   * cache_on  — the same pipeline with a solve cache large enough to hold
+//                 every unique canonical instance.
+//
+// The stream models a parameter sweep replayed with jittered ids: U unique
+// uniform instances (default 5% of the stream) whose duplicates are job
+// permutations and share-scalings of the originals — exactly the variants
+// the canonicalizer must identify.  The headline figure is the cache-on /
+// cache-off instances-per-second ratio; the issue gates on >= 3x at 10k
+// records, 5% unique.  A makespan checksum compares across both paths so
+// the cache cannot silently change results.
+//
+// Usage: bench_cache [--instances=N] [--unique-pct=P] [--jobs=J]
+//                    [--machines=M] [--reps=K] [--csv] [--json-dir=DIR]
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/pipeline.hpp"
+#include "batch/stream.hpp"
+#include "core/instance.hpp"
+#include "harness.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+// Re-emit `inst` with every requirement (and the capacity) multiplied by c —
+// a share-scaling the canonicalizer reduces back to the original's key.
+std::string scaled_record(const core::Instance& inst, core::Res c,
+                          const std::string& id) {
+  std::vector<core::Job> jobs(inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    jobs[inst.original_id(j)] =
+        core::Job{inst.job(j).size, inst.job(j).requirement * c};
+  }
+  return batch::format_instance_record(
+      core::Instance(inst.machines(), inst.capacity() * c, std::move(jobs)),
+      id);
+}
+
+// Re-emit `inst` with its jobs in a seeded random caller order — a
+// permutation the canonical job sort folds back to the same key.
+std::string permuted_record(const core::Instance& inst, std::uint64_t seed,
+                            const std::string& id) {
+  std::vector<core::Job> jobs(inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    jobs[inst.original_id(j)] = inst.job(j);
+  }
+  std::mt19937_64 rng(seed);
+  std::shuffle(jobs.begin(), jobs.end(), rng);
+  return batch::format_instance_record(
+      core::Instance(inst.machines(), inst.capacity(), std::move(jobs)), id);
+}
+
+std::string duplicate_heavy_stream(std::size_t instances, std::size_t unique,
+                                   std::size_t jobs, int machines) {
+  // Wide machines + light requirements: up to m jobs run concurrently, so a
+  // solve emits wide blocks and costs several times the (fast-path) parse —
+  // the regime where a duplicate-heavy sweep leaves real work to memoize.
+  workloads::SosConfig cfg;
+  cfg.machines = machines;
+  cfg.jobs = jobs;
+  cfg.max_size = 50;
+  std::vector<core::Instance> originals;
+  originals.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i) {
+    cfg.seed = 4000 + i;
+    originals.push_back(workloads::uniform_instance(cfg, 0.001, 0.012));
+  }
+  std::string stream;
+  for (std::size_t i = 0; i < instances; ++i) {
+    const core::Instance& base = originals[i % unique];
+    const std::string id = "e13-" + std::to_string(i);
+    // First pass emits the originals verbatim; replays alternate between
+    // permuted and share-scaled twins so hits must go through the
+    // canonicalizer, not a byte-level dedup.
+    const std::size_t round = i / unique;
+    if (round == 0) {
+      stream += batch::format_instance_record(base, id);
+    } else if (round % 2 == 1) {
+      stream += permuted_record(base, 77 * i + 13, id);
+    } else {
+      stream += scaled_record(base, 1 + static_cast<core::Res>(round % 7), id);
+    }
+    stream += '\n';
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_cache",
+                   "E13 canonical solve-cache throughput on duplicate-heavy "
+                   "batch streams");
+  const auto instances =
+      static_cast<std::size_t>(cli.get_int("instances", 10'000));
+  const auto unique_pct = static_cast<std::size_t>(cli.get_int("unique-pct", 5));
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 400));
+  const auto machines = static_cast<int>(cli.get_int("machines", 128));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
+  const std::size_t unique =
+      std::max<std::size_t>(1, instances * unique_pct / 100);
+
+  const std::string stream =
+      duplicate_heavy_stream(instances, unique, jobs, machines);
+
+  // Checksums keep the timed work observable and let the table prove the
+  // cache changed nothing about the answers.
+  std::uint64_t checksum_off = 0;
+  std::uint64_t checksum_on = 0;
+
+  batch::BatchOptions plain;
+  plain.threads = h.threads();
+  const bench::Timing plain_t = h.measure(
+      "cache_off", reps,
+      [&] {
+        std::istringstream in(stream);
+        std::ostringstream out;
+        checksum_off += batch::run_batch(in, out, plain).makespan_sum;
+      },
+      static_cast<double>(instances));
+
+  batch::BatchOptions cached = plain;
+  cached.cache_capacity = 2 * unique;  // never evicts: pure memoization timing
+  const bench::Timing cached_t = h.measure(
+      "cache_on", reps,
+      [&] {
+        std::istringstream in(stream);
+        std::ostringstream out;
+        checksum_on += batch::run_batch(in, out, cached).makespan_sum;
+      },
+      static_cast<double>(instances));
+
+  if (checksum_on != checksum_off) {
+    std::fprintf(stderr,
+                 "bench_cache: checksum mismatch (cache changed results)\n");
+    return 1;
+  }
+
+  h.section("E13  Duplicate-heavy stream (" + std::to_string(unique) +
+            " unique of " + std::to_string(instances) + " records)");
+  util::Table t({"path", "instances_per_s", "speedup_vs_cache_off",
+                 "makespan_sum"});
+  const auto speedup = [](double a, double b) {
+    return b > 0.0 ? util::fixed(a / b, 2) : std::string("-");
+  };
+  t.add("cache_on", util::fixed(cached_t.items_per_second, 1),
+        speedup(cached_t.items_per_second, plain_t.items_per_second),
+        checksum_on);
+  t.add("cache_off", util::fixed(plain_t.items_per_second, 1), "1.00",
+        checksum_off);
+  h.table(t);
+
+  return h.finish();
+}

@@ -7,6 +7,10 @@
 #     corresponds exactly to the single-shot `gen --seed=S+k` instance: the
 #     batch result's makespan and embedded schedule text match a one-shot
 #     `solve` of that instance.
+#  3. With the solve cache on (--cache), the per-record lines are STILL
+#     byte-identical across thread counts AND to the cache-off run — a
+#     duplicated stream makes sure real hits (not just misses) are on the
+#     compared path. Only the summary line may differ (cache.* metrics).
 #
 # Run by ctest as cli_batch_determinism (label tier1).
 #
@@ -47,6 +51,48 @@ cmp -s "$TMP/t1.ndjson" "$TMP/t8.ndjson" \
 cmp -s "$TMP/t8.ndjson" "$TMP/t8_again.ndjson" \
   || fail "batch output differs between identical reruns"
 
+# ---- cache on/off and cross-thread byte identity ---------------------------
+# Duplicate the stream so two thirds of the records are cache hits, including
+# schedule re-emission through the de-canonicalizer (--emit-schedules).
+cat "$TMP/stream.ndjson" "$TMP/stream.ndjson" "$TMP/stream.ndjson" \
+  > "$TMP/dup.ndjson"
+
+run_cached() {  # run_cached <threads> <cache-flag> <out.ndjson>
+  SHAREDRES_THREADS=$1 "$CLI" batch --in="$TMP/dup.ndjson" \
+    --emit-schedules $2 > "$3" || fail "batch $2 (threads=$1) exited $?"
+}
+
+run_cached 1 ""          "$TMP/dup_off.ndjson"
+run_cached 1 "--cache"   "$TMP/dup_c1.ndjson"
+run_cached 2 "--cache"   "$TMP/dup_c2.ndjson"
+run_cached 8 "--cache"   "$TMP/dup_c8.ndjson"
+run_cached 8 "--cache=4" "$TMP/dup_evict.ndjson"
+
+cmp -s "$TMP/dup_c1.ndjson" "$TMP/dup_c2.ndjson" \
+  || fail "cached batch output differs between SHAREDRES_THREADS=1 and 2"
+cmp -s "$TMP/dup_c1.ndjson" "$TMP/dup_c8.ndjson" \
+  || fail "cached batch output differs between SHAREDRES_THREADS=1 and 8"
+
+# Per-record lines (everything but the trailing summary) must match the
+# cache-off run exactly — with a full-size cache and under eviction thrash.
+for cached in "$TMP/dup_c1.ndjson" "$TMP/dup_evict.ndjson"; do
+  sed '$d' "$TMP/dup_off.ndjson" > "$TMP/off.records"
+  sed '$d' "$cached" > "$TMP/on.records"
+  cmp -s "$TMP/off.records" "$TMP/on.records" \
+    || fail "per-record output differs between cache off and $cached"
+done
+
+# The cached summary must actually report cache traffic.
+python3 - "$TMP/dup_c1.ndjson" <<'EOF' || exit 1
+import json, sys
+summary = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+counters = summary["metrics"]["counters"]
+hits, misses = counters["cache.hits"], counters["cache.misses"]
+if misses <= 0 or hits <= 0 or hits < 2 * misses:
+    sys.exit(f"FAIL: triplicated stream should hit twice per miss, "
+             f"got hits={hits} misses={misses}")
+EOF
+
 # ---- record k <-> one-shot correspondence ----------------------------------
 K=7
 "$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=$((SEED + K)) \
@@ -83,4 +129,4 @@ if summary["records"] != len(records) - 1 or summary["failed"] != 0:
     sys.exit(f"FAIL: summary counts wrong: {summary}")
 EOF
 
-echo "PASS: batch output identical across threads/reruns and equal to one-shot solves"
+echo "PASS: batch output identical across threads/reruns/cache-modes and equal to one-shot solves"

@@ -13,6 +13,8 @@
 
 #include "baselines/baselines.hpp"
 #include "batch/stream.hpp"
+#include "cache/canonical.hpp"
+#include "cache/solve_cache.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/sos_engine.hpp"
 #include "core/unit_engine.hpp"
@@ -82,6 +84,46 @@ void solve_into(const core::Instance& inst, const std::string& algorithm,
   }
 }
 
+/// Shared tail of every successful solve path: the counters whose sums make
+/// up the summary line. Values are per-record facts, so cached and uncached
+/// paths bump them identically.
+void bump_ok_counters(WorkerScratch& scratch, const ResultRecord& rec) {
+  scratch.metrics.counter("batch.records_ok").inc();
+  scratch.metrics.counter("batch.jobs").add(rec.jobs);
+  scratch.metrics.counter("batch.blocks").add(rec.blocks);
+  scratch.metrics.counter("batch.makespan_sum").add(
+      static_cast<std::uint64_t>(rec.makespan));
+}
+
+/// Solve `inst` locally (no cache) and fill the success fields of `rec` —
+/// the one definition of what an "ok" record looks like, shared by the
+/// uncached path, the cache-producer path (which passes the canonical twin
+/// through `solve` but reports through the same field set), and the
+/// abandoned-entry fallback.
+void solve_record_fields(const core::Instance& inst,
+                         const BatchOptions& options, WorkerScratch& scratch,
+                         ResultRecord& rec) {
+  solve_into(inst, options.algorithm, scratch);
+  const auto check = core::validate(inst, scratch.schedule);
+  if (!check.ok) {
+    throw std::logic_error("batch: produced infeasible schedule: " +
+                           check.error);
+  }
+  rec.ok = true;
+  rec.algorithm = options.algorithm;
+  rec.machines = inst.machines();
+  rec.jobs = inst.size();
+  rec.makespan = scratch.schedule.makespan();
+  rec.lower_bound = core::lower_bounds(inst).combined();
+  rec.blocks = scratch.schedule.blocks().size();
+  if (options.emit_schedules) {
+    std::ostringstream ss;
+    io::write_schedule(ss, scratch.schedule);
+    rec.schedule_text = ss.str();
+  }
+  bump_ok_counters(scratch, rec);
+}
+
 /// Process one input line into its formatted result line. Record-level
 /// problems (parse errors, invalid instances, overflow) become "ok":false
 /// lines and the batch continues; only std::logic_error — a library bug —
@@ -95,30 +137,7 @@ std::string process_record(const std::string& line, std::size_t index,
   try {
     const InstanceRecord input = parse_instance_record(line);
     rec.id = input.id;
-    const core::Instance& inst = input.instance;
-    solve_into(inst, options.algorithm, scratch);
-    const auto check = core::validate(inst, scratch.schedule);
-    if (!check.ok) {
-      throw std::logic_error("batch: produced infeasible schedule: " +
-                             check.error);
-    }
-    rec.ok = true;
-    rec.algorithm = options.algorithm;
-    rec.machines = inst.machines();
-    rec.jobs = inst.size();
-    rec.makespan = scratch.schedule.makespan();
-    rec.lower_bound = core::lower_bounds(inst).combined();
-    rec.blocks = scratch.schedule.blocks().size();
-    if (options.emit_schedules) {
-      std::ostringstream ss;
-      io::write_schedule(ss, scratch.schedule);
-      rec.schedule_text = ss.str();
-    }
-    scratch.metrics.counter("batch.records_ok").inc();
-    scratch.metrics.counter("batch.jobs").add(inst.size());
-    scratch.metrics.counter("batch.blocks").add(rec.blocks);
-    scratch.metrics.counter("batch.makespan_sum").add(
-        static_cast<std::uint64_t>(rec.makespan));
+    solve_record_fields(input.instance, options, scratch, rec);
   } catch (const util::Error& e) {
     rec.ok = false;
     rec.error_code = util::to_string(e.code());
@@ -149,6 +168,96 @@ std::string process_record(const std::string& line, std::size_t index,
         // Unparseable line: no id to recover.
       }
     }
+  }
+  return format_result_record(rec);
+}
+
+/// A record the reader already parsed, canonicalized, and registered with
+/// the solve cache. Everything a worker needs travels in here; the handle
+/// decides whether the worker produces the canonical solve or waits for it.
+struct CachedWork {
+  InstanceRecord record;
+  cache::CanonicalForm form;
+  cache::SolveCache::Handle handle;
+};
+
+/// Cached counterpart of process_record for records the reader successfully
+/// prepared. The output line is byte-identical to what process_record would
+/// emit: makespan, lower bound, block structure, and (de-canonicalized)
+/// schedule text are all invariant across the canonical equivalence class.
+std::string process_cached(CachedWork& work, std::size_t index,
+                           const BatchOptions& options,
+                           WorkerScratch& scratch) {
+  ResultRecord rec;
+  rec.index = index;
+  rec.id = work.record.id;
+  scratch.metrics.counter("batch.records").inc();
+  try {
+    const core::Instance& inst = work.record.instance;
+    bool served = false;
+    if (work.handle.hit()) {
+      if (const cache::CacheValue* value = work.handle.wait()) {
+        rec.ok = true;
+        rec.algorithm = options.algorithm;
+        rec.machines = inst.machines();
+        rec.jobs = inst.size();
+        rec.makespan = value->makespan;
+        rec.lower_bound = value->lower_bound;
+        rec.blocks = value->blocks;
+        if (options.emit_schedules && value->schedule) {
+          std::ostringstream ss;
+          io::write_schedule(ss, cache::decanonicalize_schedule(
+                                     *value->schedule, work.form.scale));
+          rec.schedule_text = ss.str();
+        }
+        bump_ok_counters(scratch, rec);
+        served = true;
+      }
+      // else: the producer's solve failed and abandoned the entry. Fall
+      // through to a local solve so this record fails (or succeeds) exactly
+      // as it would in a cache-off run.
+    }
+    if (!served) {
+      if (work.handle.hit()) {
+        solve_record_fields(inst, options, scratch, rec);
+      } else {
+        // Producer: solve the canonical twin once, publish it, and report
+        // through this record's own scaling. The canonical schedule is the
+        // source schedule with every share divided by form.scale (exactly —
+        // see tests/test_canonical.cpp), so makespan and block structure
+        // carry over unchanged.
+        solve_record_fields(work.form.instance(), options, scratch, rec);
+        if (options.emit_schedules) {
+          std::ostringstream ss;
+          io::write_schedule(ss, cache::decanonicalize_schedule(
+                                     scratch.schedule, work.form.scale));
+          rec.schedule_text = ss.str();
+        }
+        cache::CacheValue value;
+        value.makespan = rec.makespan;
+        value.lower_bound = rec.lower_bound;
+        value.blocks = rec.blocks;
+        if (options.emit_schedules) value.schedule = scratch.schedule;
+        work.handle.fill(std::move(value));
+      }
+    }
+  } catch (const util::Error& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(e.code());
+    rec.error_message = e.what();
+  } catch (const util::OverflowError& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
+    rec.error_message = e.what();
+  } catch (const std::invalid_argument& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
+    rec.error_message = e.what();
+  }
+  if (!rec.ok) {
+    // No id salvage needed here: the reader parsed the line, so rec.id
+    // already carries whatever label the record had.
+    scratch.metrics.counter("batch.records_failed").inc();
   }
   return format_result_record(rec);
 }
@@ -202,13 +311,47 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   std::string line;
   std::size_t index = 0;
 
+  std::optional<cache::SolveCache> cache;
+  if (options.cache_capacity > 0) {
+    cache.emplace(cache::SolveCache::Config{options.cache_capacity,
+                                            options.cache_shards});
+  }
+  // Parse + canonicalize + acquire on the reader thread, in input order —
+  // the serialization point the cache's determinism contract needs (see
+  // solve_cache.hpp). nullopt means the line could not be prepared; the
+  // worker re-parses it uncached and emits the identical error record.
+  const auto prepare = [&](const std::string& raw)
+      -> std::optional<CachedWork> {
+    try {
+      InstanceRecord record = parse_instance_record(raw);
+      cache::CanonicalForm form = cache::canonicalize(record.instance);
+      auto handle = cache->acquire(form);
+      return CachedWork{std::move(record), std::move(form),
+                        std::move(handle)};
+    } catch (const util::Error&) {
+    } catch (const util::OverflowError&) {
+    } catch (const std::invalid_argument&) {
+    }
+    return std::nullopt;
+  };
+
   if (options.threads <= 1) {
     // Fully inline: no pool, no extra threads. Byte-identical to the pooled
     // path by construction (same process_record, same emitter).
     scratch.emplace_back();
     while (std::getline(in, line)) {
       if (blank(line)) continue;
-      emitter.emit(index, process_record(line, index, options, scratch[0]));
+      if (cache) {
+        if (auto work = prepare(line)) {
+          emitter.emit(index,
+                       process_cached(*work, index, options, scratch[0]));
+        } else {
+          emitter.emit(index,
+                       process_record(line, index, options, scratch[0]));
+        }
+      } else {
+        emitter.emit(index, process_record(line, index, options, scratch[0]));
+      }
       ++index;
     }
   } else {
@@ -216,10 +359,25 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     for (std::size_t w = 0; w < pool.threads(); ++w) scratch.emplace_back();
     while (std::getline(in, line)) {
       if (blank(line)) continue;
-      pool.submit([record = std::move(line), index, &options, &scratch,
-                   &emitter](std::size_t w) {
-        emitter.emit(index, process_record(record, index, options, scratch[w]));
-      });
+      std::optional<CachedWork> work;
+      if (cache && (work = prepare(line))) {
+        // shared_ptr because std::function requires a copyable callable and
+        // CachedWork (the cache handle) is move-only. FIFO submission order
+        // keeps the no-deadlock guarantee: a key's producer task is always
+        // queued before its waiters.
+        auto shared = std::make_shared<CachedWork>(std::move(*work));
+        pool.submit([shared, index, &options, &scratch,
+                     &emitter](std::size_t w) {
+          emitter.emit(index,
+                       process_cached(*shared, index, options, scratch[w]));
+        });
+      } else {
+        pool.submit([record = std::move(line), index, &options, &scratch,
+                     &emitter](std::size_t w) {
+          emitter.emit(index,
+                       process_record(record, index, options, scratch[w]));
+        });
+      }
       ++index;
     }
     pool.close();  // drain; rethrows the first worker logic_error, if any
@@ -233,6 +391,9 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   // them the summary line — are invariant under thread count and schedule.
   obs::Registry merged(/*ring_capacity=*/1);
   for (const WorkerScratch& s : scratch) merged.merge_from(s.metrics);
+  // Cache decisions were serialized on the reader, so these metrics are as
+  // thread-count-invariant as the worker counter sums above.
+  if (cache) cache->export_metrics(merged);
 
   BatchSummary summary;
   summary.records = merged.counter("batch.records").value();

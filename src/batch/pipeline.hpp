@@ -35,6 +35,15 @@
 // allocations per record are the parsed Instance and the per-block share
 // vectors the engines move into the schedule — engine-internal buffers are
 // recycled across the whole batch.
+//
+// Solve cache (cache_capacity > 0): the reader additionally parses and
+// canonicalizes each record and acquires a cache handle *in input order*, so
+// every cache decision (hit/miss, eviction) is made before thread scheduling
+// can vary — the cache.* counters in the summary metrics block are
+// thread-count-invariant. Workers then either publish the canonical solve
+// (first occurrence of a key) or wait for it (repeats), and each record
+// de-canonicalizes with its own scale factor, keeping per-record lines
+// byte-identical to a cache-off run. DESIGN.md §11.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +68,14 @@ struct BatchOptions {
   /// Embed each feasible schedule (io::write_schedule text) in its result
   /// line under "schedule".
   bool emit_schedules = false;
+  /// > 0 enables the canonical-instance solve cache (src/cache) with this
+  /// many resident entries. Records whose canonical key repeats — job
+  /// permutations, common-factor rescalings — reuse the first solve; the
+  /// per-record output lines stay byte-identical to a cache-off run, and the
+  /// summary grows deterministic cache.* metrics. 0 = off.
+  std::size_t cache_capacity = 0;
+  /// Shard count for the solve cache (clamped to the capacity).
+  std::size_t cache_shards = 8;
 };
 
 /// Aggregate outcome, mirrored by the emitted summary line.

@@ -1,0 +1,137 @@
+#include "cache/canonical.hpp"
+
+#include <bit>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "core/job.hpp"
+#include "util/checked.hpp"
+
+namespace sharedres::cache {
+
+namespace {
+
+/// Native word ↔ canonical little-endian bytes. memcpy keeps the loads and
+/// stores single instructions; the byte swap on big-endian hosts keeps the
+/// key (and therefore the hash) platform-independent.
+std::uint64_t to_le(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    return __builtin_bswap64(v);
+  }
+  return v;
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  const std::uint64_t le = to_le(v);
+  std::memcpy(out, &le, 8);
+}
+
+std::uint64_t read_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, in, 8);
+  return to_le(v);
+}
+
+/// splitmix64 finalizer — full avalanche, fixed constants.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One multiply-fold per word, splitmix64 avalanche at the end. The hash is
+/// only a filter — every hit verifies full key bytes — so one multiply of
+/// diffusion per word is enough, and it keeps the per-lookup cost near
+/// memory bandwidth. The rotate stops plain xor-cancellation between
+/// neighbouring words.
+std::uint64_t hash_lane(const std::vector<std::uint8_t>& bytes,
+                        std::uint64_t seed) {
+  std::uint64_t h = mix64(seed);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    h = std::rotl(h, 27) ^ ((read_u64(bytes.data() + i) ^ h) *
+                            0x9e3779b97f4a7c15ULL);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t b = 0; i < bytes.size(); ++i, ++b) {
+    tail |= static_cast<std::uint64_t>(bytes[i]) << (8 * b);
+  }
+  h = mix64(h ^ tail);
+  return mix64(h ^ static_cast<std::uint64_t>(bytes.size()));
+}
+
+}  // namespace
+
+Hash128 hash_bytes(const std::vector<std::uint8_t>& bytes) {
+  return Hash128{hash_lane(bytes, 0x5361526573436163ULL),
+                 hash_lane(bytes, 0x436e6f6e6963616cULL)};
+}
+
+CanonicalForm canonicalize(const core::Instance& instance) {
+  // g = gcd(C, r_1, …, r_n); with no jobs this is C itself, so the empty
+  // instance normalizes to capacity 1 for every source capacity.
+  core::Res g = instance.capacity();
+  for (const core::Job& job : instance.jobs()) {
+    g = std::gcd(g, job.requirement);
+  }
+
+  // Serialize straight from the source's sorted jobs, dividing by g on the
+  // fly. Dividing every requirement by the same g preserves the canonical
+  // total order, so this byte sequence IS the reduced instance's
+  // serialization: canonical job j is source (sorted) job j.
+  CanonicalForm form{g, {}, {}};
+  form.key.resize(2 + 8 * (3 + 2 * instance.size()));
+  std::uint8_t* out = form.key.data();
+  *out++ = kKeyFormatVersion;
+  *out++ = 1;  // resource dimensions (multi-resource extension)
+  put_u64(out, static_cast<std::uint64_t>(instance.machines()));
+  put_u64(out + 8, static_cast<std::uint64_t>(instance.capacity() / g));
+  put_u64(out + 16, static_cast<std::uint64_t>(instance.size()));
+  out += 24;
+  for (const core::Job& job : instance.jobs()) {
+    put_u64(out, static_cast<std::uint64_t>(job.size));
+    put_u64(out + 8, static_cast<std::uint64_t>(job.requirement / g));
+    out += 16;
+  }
+  form.hash = hash_bytes(form.key);
+  return form;
+}
+
+core::Instance CanonicalForm::instance() const {
+  // Inverse of the serializer above; the Instance constructor's sort is the
+  // identity permutation on a decoded key (the jobs were serialized in
+  // canonical order), so this is a straight O(n) rebuild plus validation.
+  const std::uint8_t* in = key.data();
+  const auto machines = static_cast<int>(read_u64(in + 2));
+  const auto capacity = static_cast<core::Res>(read_u64(in + 10));
+  const auto count = static_cast<std::size_t>(read_u64(in + 18));
+  in += 26;
+  std::vector<core::Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    jobs.push_back(core::Job{static_cast<core::Res>(read_u64(in)),
+                             static_cast<core::Res>(read_u64(in + 8))});
+    in += 16;
+  }
+  return core::Instance(machines, capacity, std::move(jobs));
+}
+
+core::Schedule decanonicalize_schedule(const core::Schedule& canonical,
+                                       core::Res scale) {
+  core::Schedule out;
+  out.reserve_blocks(canonical.blocks().size());
+  for (const core::Block& block : canonical.blocks()) {
+    std::vector<core::Assignment> assignments;
+    assignments.reserve(block.assignments.size());
+    for (const core::Assignment& a : block.assignments) {
+      assignments.push_back(
+          core::Assignment{a.job, util::mul_checked(a.share, scale)});
+    }
+    out.append(block.length, std::move(assignments));
+  }
+  return out;
+}
+
+}  // namespace sharedres::cache

@@ -1,0 +1,95 @@
+// Canonical normal form for SoS instances (the solve cache's key domain).
+//
+// Two instances are solve-equivalent when one can be obtained from the other
+// by permuting jobs and/or multiplying every requirement AND the capacity by
+// a common factor (the paper's rescaling remark; see core/rescale.hpp for
+// the real-sizes direction). canonicalize() maps every member of such an
+// equivalence class to the same representative:
+//
+//   * jobs in the canonical total order on (r_j, p_j) — already enforced by
+//     core::Instance's constructor, which sorts by non-decreasing
+//     requirement with ties broken by non-decreasing size, so a permuted
+//     multiset re-sorts to the identical sequence;
+//   * requirements and capacity divided by g = gcd(C, r_1, …, r_n), the
+//     scale-free representative (an empty instance normalizes to C' = 1).
+//
+// The representative is paired with a serialized key (the exact byte string
+// equality is decided on) and a 128-bit structural hash of that key. The key
+// layout reserves a resource-dimension count so a future many-shared-
+// resources generalization (Maack/Pukrop/Rau) extends the format instead of
+// replacing it:
+//
+//   byte 0  key-format version (kKeyFormatVersion)
+//   byte 1  resource dimension count d (currently always 1)
+//   u64 LE  machines m
+//   u64 LE  canonical capacity C' (one value per dimension)
+//   u64 LE  job count n
+//   n × (u64 LE size p_j, u64 LE canonical requirement r'_j per dimension)
+//
+// Everything here is deterministic: same instance → same key bytes → same
+// hash, on every platform (explicit little-endian serialization, fixed
+// mixing constants).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::cache {
+
+inline constexpr std::uint8_t kKeyFormatVersion = 1;
+
+/// 128-bit structural hash: two independently seeded 64-bit lanes over the
+/// key bytes. Collisions across both lanes are astronomically unlikely, and
+/// the cache still verifies full key bytes on every hit (a hash is a filter,
+/// never the authority).
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// Hash an arbitrary byte string (exposed for tests and the fuzz harness).
+[[nodiscard]] Hash128 hash_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// The canonical representative of an instance's equivalence class.
+///
+/// Deliberately lazy: only the serialized key and its hash are materialized,
+/// because the cache's hit path needs nothing else — building the reduced
+/// Instance (allocation + re-sort + totals) on every lookup would cost more
+/// than the lookup itself. instance() decodes the key on demand; only the
+/// producer of a cache miss pays for it, once per unique instance.
+struct CanonicalForm {
+  /// g ≥ 1 with source capacity = canonical capacity · g and source
+  /// r_j = canonical r'_j · g (job-by-job in sorted order).
+  core::Res scale = 1;
+  /// Serialized key (layout in the file comment). Byte equality of keys is
+  /// exactly solve-equivalence of the sources.
+  std::vector<std::uint8_t> key;
+  /// hash_bytes(key).
+  Hash128 hash;
+
+  /// Materialize the representative: same machines and job sizes as the
+  /// source, requirements and capacity divided by `scale`. Solving it yields
+  /// the source instance's makespan directly; shares scale back by
+  /// multiplication.
+  [[nodiscard]] core::Instance instance() const;
+};
+
+/// Reduce `instance` to its canonical form. Never throws for a validly
+/// constructed Instance: the reduced values stay in range (g divides every
+/// requirement and the capacity) and totals only shrink.
+[[nodiscard]] CanonicalForm canonicalize(const core::Instance& instance);
+
+/// Map a schedule of the canonical instance back to the source scaling:
+/// identical block structure with every share multiplied by `scale`. Job ids
+/// are untouched — the canonical job order IS the source's sorted order, so
+/// a canonical schedule indexes any instance of the class directly.
+[[nodiscard]] core::Schedule decanonicalize_schedule(
+    const core::Schedule& canonical, core::Res scale);
+
+}  // namespace sharedres::cache

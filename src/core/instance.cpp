@@ -23,13 +23,20 @@ Instance::Instance(int machines, Res capacity, std::vector<Job> jobs)
     }
   }
 
-  // Stable sort by requirement keeps the caller's relative order among ties,
-  // which makes generator output (and therefore experiments) deterministic.
+  // Stable sort by the canonical total order (requirement, then size): two
+  // instances over the same job multiset normalize to the same job sequence,
+  // so every engine sees permutation-equivalent inputs identically — the
+  // invariance the solve cache (src/cache) keys on. Full (r, p) ties are
+  // interchangeable jobs; keeping the caller's relative order among them
+  // makes generator output (and therefore experiments) deterministic.
   original_.resize(jobs_.size());
   std::iota(original_.begin(), original_.end(), std::size_t{0});
   std::stable_sort(original_.begin(), original_.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return jobs_[a].requirement < jobs_[b].requirement;
+                     if (jobs_[a].requirement != jobs_[b].requirement) {
+                       return jobs_[a].requirement < jobs_[b].requirement;
+                     }
+                     return jobs_[a].size < jobs_[b].size;
                    });
   std::vector<Job> sorted;
   sorted.reserve(jobs_.size());

@@ -8,9 +8,12 @@
 
 namespace sharedres::core {
 
-/// Immutable instance. Jobs are stored sorted by non-decreasing resource
-/// requirement (the paper's WLOG r_1 ≤ … ≤ r_n); `original_id(j)` recovers
-/// the caller's ordering.
+/// Immutable instance. Jobs are stored sorted by the canonical total order —
+/// non-decreasing resource requirement (the paper's WLOG r_1 ≤ … ≤ r_n),
+/// ties broken by non-decreasing size — so any permutation of the same job
+/// multiset normalizes to the same job sequence (the invariance the solve
+/// cache in src/cache relies on); `original_id(j)` recovers the caller's
+/// ordering.
 ///
 /// `capacity()` is the per-step resource budget C in integer units; a job
 /// requirement of r units corresponds to the paper's r_j = r / C, so

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace sharedres::core {
 
 Instance rescale_real_sizes(int machines, Res capacity,
@@ -13,7 +15,8 @@ Instance rescale_real_sizes(int machines, Res capacity,
   sizes.reserve(jobs.size());
   reqs.reserve(jobs.size());
   Res lcm = 1;
-  for (const RealJob& rj : jobs) {
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const RealJob& rj = jobs[j];
     if (!(rj.size > util::Rational(0))) {
       throw std::invalid_argument("rescale_real_sizes: size must be > 0");
     }
@@ -25,24 +28,40 @@ Instance rescale_real_sizes(int machines, Res capacity,
         rj.size * util::Rational(rj.requirement) / util::Rational(p_up);
     sizes.push_back(p_up);
     reqs.push_back(r_new);
-    lcm = util::lcm_checked(lcm, r_new.den());
+    // The lcm of the reduced denominators is the one quantity here that can
+    // genuinely explode (pairwise-coprime denominators multiply); report it
+    // as the typed input error the rescale contract promises, with the job
+    // that tipped it over.
+    try {
+      lcm = util::lcm_checked(lcm, r_new.den());
+    } catch (const util::OverflowError&) {
+      throw util::Error::overflow(
+          "rescale_real_sizes: denominator lcm exceeds 64 bits at job " +
+          std::to_string(j));
+    }
   }
 
   // Second pass: scale every requirement (and the capacity) by L so all
   // values are integral; shares as fractions of the capacity are unchanged.
   std::vector<Job> out;
   out.reserve(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const Res scaled =
-        util::mul_checked(reqs[j].num(), lcm / reqs[j].den());
-    if (scaled < 1) {
-      throw std::invalid_argument(
-          "rescale_real_sizes: requirement underflows to zero");
+  try {
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const Res scaled = util::mul_checked(reqs[j].num(), lcm / reqs[j].den());
+      if (scaled < 1) {
+        throw std::invalid_argument(
+            "rescale_real_sizes: requirement underflows to zero");
+      }
+      out.push_back(Job{sizes[j], scaled});
     }
-    out.push_back(Job{sizes[j], scaled});
+    if (scale_out != nullptr) *scale_out = lcm;
+    return Instance(machines, util::mul_checked(capacity, lcm),
+                    std::move(out));
+  } catch (const util::OverflowError&) {
+    throw util::Error::overflow(
+        "rescale_real_sizes: scaling by lcm " + std::to_string(lcm) +
+        " exceeds 64 bits");
   }
-  if (scale_out != nullptr) *scale_out = lcm;
-  return Instance(machines, util::mul_checked(capacity, lcm), std::move(out));
 }
 
 }  // namespace sharedres::core

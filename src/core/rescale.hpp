@@ -28,6 +28,10 @@ struct RealJob {
 /// scaled by the same L — shares are unchanged as fractions of the
 /// capacity, so schedules of the result are schedules of the original.
 /// Returns the instance; `scale_out` (optional) receives L.
+/// Throws std::invalid_argument for non-positive sizes / requirements < 1,
+/// and util::Error (code kOverflow) when the lcm or any scaled value
+/// exceeds 64 bits — adversarial denominators are an input problem, not an
+/// unclassified runtime_error.
 [[nodiscard]] Instance rescale_real_sizes(int machines, Res capacity,
                                           const std::vector<RealJob>& jobs,
                                           Res* scale_out = nullptr);

@@ -74,6 +74,10 @@ Error Error::invalid_instance(const std::string& message) {
   return Error(ErrorCode::kInvalidInstance, message);
 }
 
+Error Error::overflow(const std::string& message) {
+  return Error(ErrorCode::kOverflow, "overflow: " + message);
+}
+
 Error Error::injected(const std::string& site, unsigned long long hit) {
   return Error(ErrorCode::kInjectedFault, "injected fault at '" + site +
                                               "' (hit " + std::to_string(hit) +

@@ -67,6 +67,9 @@ class Error : public std::runtime_error {
                                  const std::string& message);
   /// "invalid instance: <message>".
   [[nodiscard]] static Error invalid_instance(const std::string& message);
+  /// "overflow: <message>" — the typed form of util::OverflowError, for
+  /// surfaces that promise util::Error (e.g. rescale_real_sizes).
+  [[nodiscard]] static Error overflow(const std::string& message);
   /// "injected fault at '<site>' (hit N)".
   [[nodiscard]] static Error injected(const std::string& site,
                                       unsigned long long hit);

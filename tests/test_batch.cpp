@@ -14,6 +14,7 @@
 #include "baselines/baselines.hpp"
 #include "batch/pipeline.hpp"
 #include "batch/stream.hpp"
+#include "cache/canonical.hpp"
 #include "core/instance.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/schedule.hpp"
@@ -377,6 +378,196 @@ TEST(BatchReset, ScheduleResetClearsContentAndKeepsBlockCapacity) {
   EXPECT_TRUE(schedule.empty());
   EXPECT_EQ(schedule.makespan(), 0);
   EXPECT_EQ(schedule.blocks().capacity(), capacity_before);
+}
+
+// ---- solve cache differentials ---------------------------------------------
+
+/// `inst` with all requirements and the capacity multiplied by c, formatted
+/// as an NDJSON record — a different byte string (and id) with the same
+/// canonical key as `inst`.
+std::string scaled_record(const core::Instance& inst, core::Res c,
+                          const std::string& id) {
+  std::vector<core::Job> jobs;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    // Reconstruct the caller's original order so the scaled record is not
+    // also a permutation (scaling alone must collide).
+    jobs.emplace_back();
+  }
+  for (core::JobId j = 0; j < inst.size(); ++j) {
+    jobs[inst.original_id(j)] =
+        core::Job{inst.job(j).size, inst.job(j).requirement * c};
+  }
+  return format_instance_record(
+      core::Instance(inst.machines(), inst.capacity() * c, std::move(jobs)),
+      id);
+}
+
+/// A duplicate-heavy stream: `unique` generated instances, each followed by
+/// scaled twins — the canonical-collision traffic the cache exists for.
+std::vector<std::string> collision_stream(std::size_t unique) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < unique; ++i) {
+    const core::Instance inst =
+        workloads::uniform_instance(config(300 + i, /*jobs=*/10));
+    lines.push_back(format_instance_record(inst, "u" + std::to_string(i)));
+    lines.push_back(scaled_record(inst, 3, "x3-" + std::to_string(i)));
+    lines.push_back(scaled_record(inst, 7, "x7-" + std::to_string(i)));
+  }
+  return lines;
+}
+
+/// Per-record lines only (everything but the trailing summary line).
+std::vector<std::string> record_lines(const std::string& text) {
+  std::vector<std::string> lines = output_lines(text);
+  if (!lines.empty()) lines.pop_back();
+  return lines;
+}
+
+double summary_counter(const std::string& text, const std::string& name) {
+  const std::vector<std::string> lines = output_lines(text);
+  const util::Json doc = util::Json::parse(lines.back());
+  return doc.at("metrics").at("counters").at(name).as_double();
+}
+
+TEST(BatchCache, PerRecordOutputMatchesCacheOffAcrossThreadCounts) {
+  const std::vector<std::string> lines = collision_stream(6);
+
+  BatchOptions off;
+  const std::string reference = run(lines, off).first;
+
+  BatchOptions on = off;
+  on.cache_capacity = 64;
+  std::string first_cached;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    on.threads = threads;
+    const std::string cached = run(lines, on).first;
+    // Per-record lines: byte-identical to the cache-off run.
+    EXPECT_EQ(record_lines(cached), record_lines(reference))
+        << "threads=" << threads;
+    // Whole output (including the summary's cache.* metrics): byte-identical
+    // across thread counts.
+    if (first_cached.empty()) {
+      first_cached = cached;
+    } else {
+      EXPECT_EQ(cached, first_cached) << "threads=" << threads;
+    }
+  }
+  // 6 unique keys, 18 records: 12 hits, 12 fewer solves than records.
+  EXPECT_EQ(summary_counter(first_cached, "cache.misses"), 6.0);
+  EXPECT_EQ(summary_counter(first_cached, "cache.hits"), 12.0);
+  EXPECT_EQ(summary_counter(first_cached, "cache.evictions"), 0.0);
+}
+
+TEST(BatchCache, EmitSchedulesStaysByteIdenticalUnderCaching) {
+  // The hardest identity: embedded schedule text must survive the canonical
+  // round trip (solve the reduced twin, multiply shares back per record).
+  const std::vector<std::string> lines = collision_stream(4);
+  BatchOptions off;
+  off.emit_schedules = true;
+  const std::string reference = run(lines, off).first;
+
+  BatchOptions on = off;
+  on.cache_capacity = 64;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    on.threads = threads;
+    EXPECT_EQ(record_lines(run(lines, on).first), record_lines(reference))
+        << "threads=" << threads;
+  }
+}
+
+TEST(BatchCache, EvictionThrashAtCapacityTwoKeepsDeterminism) {
+  // More unique keys than capacity, visited twice in a cycle long enough
+  // that the second visit misses again: constant eviction churn. The
+  // counters — and the whole output — must still be identical across
+  // SHAREDRES_THREADS, because every eviction decision happens on the
+  // reader.
+  std::vector<std::string> lines;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const core::Instance inst =
+          workloads::uniform_instance(config(500 + i, /*jobs=*/8));
+      lines.push_back(format_instance_record(
+          inst, "r" + std::to_string(round) + "-" + std::to_string(i)));
+    }
+  }
+
+  BatchOptions off;
+  const std::string reference = run(lines, off).first;
+
+  BatchOptions on = off;
+  on.cache_capacity = 2;
+  on.cache_shards = 1;
+  std::string first_cached;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    on.threads = threads;
+    const std::string cached = run(lines, on).first;
+    EXPECT_EQ(record_lines(cached), record_lines(reference))
+        << "threads=" << threads;
+    if (first_cached.empty()) {
+      first_cached = cached;
+    } else {
+      EXPECT_EQ(cached, first_cached) << "threads=" << threads;
+    }
+  }
+  // 8 distinct keys through a 2-entry cache, twice: every acquire misses
+  // and all but the 2 resident entries were evicted.
+  EXPECT_EQ(summary_counter(first_cached, "cache.misses"), 16.0);
+  EXPECT_EQ(summary_counter(first_cached, "cache.hits"), 0.0);
+  EXPECT_EQ(summary_counter(first_cached, "cache.evictions"), 14.0);
+}
+
+TEST(BatchCache, FailingRecordsMatchCacheOffIncludingDuplicates) {
+  // A parse error (never reaches the cache), an invalid instance the solver
+  // rejects (producer abandons), and a duplicate of the rejected record (hit
+  // on the abandoned entry → local solve → identical error line).
+  const core::Instance bad_m =
+      make(1, 50, {{2, 10}, {1, 5}});  // window needs m >= 2
+  std::vector<std::string> lines = {
+      format_instance_record(make(3, 60, {{2, 30}, {1, 12}}), "good"),
+      "{malformed",
+      format_instance_record(bad_m, "bad-m"),
+      format_instance_record(bad_m, "bad-m-again"),
+      format_instance_record(make(3, 60, {{1, 12}, {2, 30}}), "good-perm"),
+  };
+
+  BatchOptions off;
+  const auto [reference, off_summary] = run(lines, off);
+
+  BatchOptions on = off;
+  on.cache_capacity = 16;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    on.threads = threads;
+    const auto [cached, summary] = run(lines, on);
+    EXPECT_EQ(record_lines(cached), record_lines(reference))
+        << "threads=" << threads;
+    EXPECT_EQ(summary.failed, off_summary.failed);
+    EXPECT_EQ(summary.ok, off_summary.ok);
+    // bad-m missed (then abandoned); bad-m-again and good-perm hit.
+    EXPECT_EQ(summary_counter(cached, "cache.misses"), 2.0);
+    EXPECT_EQ(summary_counter(cached, "cache.hits"), 2.0);
+    EXPECT_EQ(summary_counter(cached, "cache.abandoned"), 1.0);
+  }
+}
+
+TEST(BatchCache, CacheLookupAgreesWithCanonicalizer) {
+  // Sanity link between the two layers: records the canonicalizer maps to
+  // one key are exactly the records the pipeline serves from cache.
+  const core::Instance inst =
+      workloads::uniform_instance(config(900, /*jobs=*/6));
+  const std::string base = format_instance_record(inst, "a");
+  const std::string twin = scaled_record(inst, 5, "b");
+  const auto base_form = cache::canonicalize(
+      parse_instance_record(base).instance);
+  const auto twin_form = cache::canonicalize(
+      parse_instance_record(twin).instance);
+  ASSERT_EQ(base_form.key, twin_form.key);
+  ASSERT_EQ(twin_form.scale, base_form.scale * 5);
+
+  BatchOptions on;
+  on.cache_capacity = 4;
+  const std::string out = run({base, twin}, on).first;
+  EXPECT_EQ(summary_counter(out, "cache.hits"), 1.0);
+  EXPECT_EQ(summary_counter(out, "cache.misses"), 1.0);
 }
 
 }  // namespace

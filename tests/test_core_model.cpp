@@ -19,19 +19,34 @@ using core::Instance;
 using core::Job;
 using core::Schedule;
 
-TEST(Instance, SortsByRequirementStably) {
-  const Instance inst(2, 10, {Job{1, 5}, Job{2, 3}, Job{3, 5}, Job{1, 1}});
+TEST(Instance, SortsByCanonicalTotalOrder) {
+  // Requirement first, size as the tie break — the total order that makes
+  // any permutation of one job multiset normalize to the same sequence (the
+  // invariance the solve cache keys on; see cache/canonical.hpp).
+  const Instance inst(2, 10, {Job{3, 5}, Job{2, 3}, Job{1, 5}, Job{1, 1}});
   ASSERT_EQ(inst.size(), 4u);
   EXPECT_EQ(inst.job(0).requirement, 1);
   EXPECT_EQ(inst.job(1).requirement, 3);
   EXPECT_EQ(inst.job(2).requirement, 5);
   EXPECT_EQ(inst.job(3).requirement, 5);
-  // Stable: the first r=5 job (original index 0) precedes the second (2).
-  EXPECT_EQ(inst.original_id(2), 0u);
-  EXPECT_EQ(inst.original_id(3), 2u);
+  // The r=5 tie orders by size: p=1 (original index 2) before p=3 (0),
+  // even though the caller listed them the other way around.
+  EXPECT_EQ(inst.job(2).size, 1);
+  EXPECT_EQ(inst.job(3).size, 3);
+  EXPECT_EQ(inst.original_id(2), 2u);
+  EXPECT_EQ(inst.original_id(3), 0u);
   EXPECT_EQ(inst.total_size(), 7);
   EXPECT_EQ(inst.total_requirement(), 5 + 6 + 15 + 1);
   EXPECT_FALSE(inst.unit_size());
+}
+
+TEST(Instance, FullTiesKeepCallerOrderStably) {
+  // Jobs equal in (r, p) are interchangeable; the sort is stable among them
+  // so generator output stays reproducible.
+  const Instance inst(2, 10, {Job{2, 4}, Job{2, 4}, Job{1, 4}});
+  EXPECT_EQ(inst.original_id(0), 2u);  // (4,1) first
+  EXPECT_EQ(inst.original_id(1), 0u);  // then the (4,2) pair in caller order
+  EXPECT_EQ(inst.original_id(2), 1u);
 }
 
 TEST(Instance, RejectsMalformedInput) {

@@ -52,9 +52,12 @@ TEST(ExactSos, PreemptionCanHelp) {
 }
 
 TEST(ExactSos, RespectsStateLimit) {
-  const Instance inst = workloads::tiny_grid_instance(3, 7, 6, 3, 99);
+  // Seed chosen so the initial bounds do not close the instance at the root
+  // (otherwise the search answers after one state and no limit can trip).
+  const Instance inst = workloads::tiny_grid_instance(3, 7, 6, 3, 6);
+  ASSERT_TRUE(exact::exact_makespan(inst).has_value());
   exact::ExactLimits limits;
-  limits.max_states = 10;
+  limits.max_states = 2;
   EXPECT_EQ(exact::exact_makespan(inst, limits), std::nullopt);
 }
 

@@ -6,6 +6,7 @@
 #include "core/rescale.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
+#include "util/error.hpp"
 
 namespace sharedres {
 namespace {
@@ -83,6 +84,39 @@ TEST(Rescale, RejectsBadInput) {
   EXPECT_THROW(
       (void)core::rescale_real_sizes(2, 10, {{Rational(1), 0}}),
       std::invalid_argument);
+}
+
+TEST(Rescale, OverflowingLcmIsTypedInputError) {
+  // Four pairwise-coprime prime denominators whose product ≈ 1e20 > 2^63:
+  // each job contributes r'_j = 1/q with q prime, so the running lcm is the
+  // product and must trip lcm_checked. The contract is a typed util::Error
+  // (kOverflow), not a bare OverflowError.
+  const std::vector<RealJob> jobs = {
+      {Rational(1, 99991), 1},
+      {Rational(1, 99989), 1},
+      {Rational(1, 99971), 1},
+      {Rational(1, 99961), 1},
+  };
+  try {
+    (void)core::rescale_real_sizes(2, 10, jobs);
+    FAIL() << "expected util::Error (kOverflow)";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kOverflow);
+  }
+}
+
+TEST(Rescale, OverflowingCapacityScaleIsTypedInputError) {
+  // The lcm itself fits (one huge denominator), but capacity · lcm does not:
+  // the second checked site must report the same typed code.
+  const std::vector<RealJob> jobs = {
+      {Rational(1, 4'611'686'018'427'387'903LL), 1},
+  };
+  try {
+    (void)core::rescale_real_sizes(2, 10, jobs);
+    FAIL() << "expected util::Error (kOverflow)";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kOverflow);
+  }
 }
 
 }  // namespace

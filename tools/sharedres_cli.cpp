@@ -10,7 +10,8 @@
 //   sharedres_cli bounds   --instance=inst.txt
 //   sharedres_cli batch    --in=stream.ndjson | --dir=instances/
 //                          [--algorithm=...] [--threads=N] [--queue=N]
-//                          [--emit-schedules] [--out=results.ndjson]
+//                          [--emit-schedules] [--cache[=N]]
+//                          [--out=results.ndjson]
 //
 // `gen` writes a reproducible instance (or, with --count=N --format=ndjson,
 // a stream of N instances with seeds seed..seed+N-1, each identical to the
@@ -83,7 +84,8 @@ int usage() {
          "nfd|ffd|pairing] [--out=f]\n"
          "  sas      --instance=<sas file> [--weights=w1,w2,...]\n"
          "  batch    --in=stream.ndjson|- | --dir=d [--algorithm=...] "
-         "[--threads=N] [--queue=N] [--emit-schedules] [--out=f]\n"
+         "[--threads=N] [--queue=N] [--emit-schedules] [--cache[=N]] "
+         "[--out=f]\n"
          "global: --metrics-json=<file> dumps the observability registry\n"
          "        (src/obs) after any command, successful or not\n"
          "exit codes: 0 ok | 1 infeasible | 2 usage | 3 input error\n";
@@ -208,6 +210,17 @@ int cmd_batch(const util::Cli& cli) {
   options.threads = static_cast<std::size_t>(threads);
   options.queue_capacity = static_cast<std::size_t>(queue);
   options.emit_schedules = cli.has("emit-schedules");
+  if (cli.has("cache")) {
+    // Bare --cache (stored as "true") selects the default capacity;
+    // --cache=N pins it. --cache=0 is explicit off.
+    const std::int64_t capacity =
+        cli.get("cache", "") == "true" ? 1024 : cli.get_int("cache", 0);
+    if (capacity < 0) {
+      std::cerr << "batch: --cache must be >= 0\n";
+      return kExitUsage;
+    }
+    options.cache_capacity = static_cast<std::size_t>(capacity);
+  }
 
   const std::string out_path = cli.get("out", "");
   std::ofstream out_file;
