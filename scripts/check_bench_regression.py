@@ -36,6 +36,13 @@ current run whose bench invocation (timing labels / rep counts) differs
 from the baseline's: counters scale with the work performed, so they are
 only compared between identical invocations.
 
+Cross-run equality gate (--equal-across): given two or more directories of
+artifacts from the SAME bench invocation at DIFFERENT SHAREDRES_THREADS
+values, the deterministic metric blocks must be EXACTLY equal pairwise —
+the determinism contract of the parallel engine paths (DESIGN.md §12) made
+executable. Any key differing between two thread counts is a hard failure.
+Timings are of course not compared in this mode.
+
 Exit status: 0 = all checks passed, 1 = regression or schema violation,
 2 = usage/IO error (missing directories, unreadable or invalid files).
 Every IO failure is a one-line diagnostic on stderr, never a traceback.
@@ -44,6 +51,7 @@ Usage:
   check_bench_regression.py --baseline DIR --current DIR
                             [--threshold X] [--min-seconds S] [--strict]
                             [--allow-missing-baseline]
+  check_bench_regression.py --equal-across DIR DIR [DIR ...]
 
   --threshold X    relative gate, default 3.0
   --min-seconds S  absolute gate in seconds, default 0.05
@@ -54,6 +62,9 @@ Usage:
                    warning: the current artifacts are still schema-validated,
                    but no regression comparison runs (first CI run on a new
                    branch, or a fresh machine without recorded baselines)
+  --equal-across   compare deterministic metric blocks for exact equality
+                   across per-thread-count runs instead of (or in addition
+                   to) the baseline comparison
 """
 
 from __future__ import annotations
@@ -196,16 +207,105 @@ def compare(name: str, baseline: dict, current: dict, threshold: float,
                 f"threshold {threshold}x, floor {min_seconds}s)")
 
 
+def compare_equal_across(dirs: list[pathlib.Path], errors: list[str],
+                         warnings: list[str]) -> int:
+    """Exact pairwise equality of deterministic metrics across runs.
+
+    The first directory is the reference; every other directory must hold
+    the same artifact set, produced by the same invocation (labels/reps),
+    with an identical deterministic metrics block. Returns the number of
+    artifacts checked in the reference set.
+    """
+    loaded: list[tuple[pathlib.Path, dict[str, dict]]] = []
+    for directory in dirs:
+        if not directory.is_dir():
+            print(f"error: --equal-across directory {directory} does not "
+                  f"exist", file=sys.stderr)
+            raise SystemExit(2)
+        loaded.append((directory, load_artifacts(directory)))
+    ref_dir, ref = loaded[0]
+    if not ref:
+        print(f"error: no BENCH_*.json files in {ref_dir}", file=sys.stderr)
+        raise SystemExit(2)
+    for directory, docs in loaded:
+        for name, doc in docs.items():
+            validate_schema(f"{directory}/{name}", doc, errors)
+    for directory, docs in loaded[1:]:
+        if docs.keys() != ref.keys():
+            diff = sorted(set(docs) ^ set(ref))
+            errors.append(f"{directory}: artifact set differs from "
+                          f"{ref_dir}: {diff}")
+            continue
+        for name in sorted(ref):
+            ref_doc, doc = ref[name], docs[name]
+            ref_m, cur_m = ref_doc.get("metrics"), doc.get("metrics")
+            if ref_m is None or cur_m is None or not (
+                    ref_m.get("obs_enabled") and cur_m.get("obs_enabled")):
+                warnings.append(f"{directory}/{name}: metrics unavailable; "
+                                f"cross-run equality gate skipped")
+                continue
+            ref_inv = {t["label"]: t["reps"]
+                       for t in ref_doc.get("timings", [])}
+            cur_inv = {t["label"]: t["reps"] for t in doc.get("timings", [])}
+            if ref_inv != cur_inv:
+                errors.append(f"{directory}/{name}: bench invocation "
+                              f"differs from {ref_dir} (timing labels/reps "
+                              f"mismatch) — equality gate needs identical "
+                              f"invocations")
+                continue
+            ref_flat = flatten_metrics(ref_m.get("deterministic", {}))
+            cur_flat = flatten_metrics(cur_m.get("deterministic", {}))
+            for key in sorted(ref_flat.keys() | cur_flat.keys()):
+                ref_v, cur_v = ref_flat.get(key), cur_flat.get(key)
+                if ref_v != cur_v:
+                    errors.append(
+                        f"{directory}/{name}: deterministic metric '{key}' "
+                        f"differs across runs: {ref_dir} has {ref_v}, "
+                        f"{directory} has {cur_v}")
+    return len(ref)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Validate and compare BENCH_*.json artifacts.")
-    parser.add_argument("--baseline", required=True, type=pathlib.Path)
-    parser.add_argument("--current", required=True, type=pathlib.Path)
+    parser.add_argument("--baseline", type=pathlib.Path)
+    parser.add_argument("--current", type=pathlib.Path)
     parser.add_argument("--threshold", type=float, default=3.0)
     parser.add_argument("--min-seconds", type=float, default=0.05)
     parser.add_argument("--strict", action="store_true")
     parser.add_argument("--allow-missing-baseline", action="store_true")
+    parser.add_argument("--equal-across", nargs="+", type=pathlib.Path,
+                        metavar="DIR")
     args = parser.parse_args()
+
+    if args.equal_across is not None and len(args.equal_across) < 2:
+        print("error: --equal-across needs at least two directories",
+              file=sys.stderr)
+        return 2
+    if args.equal_across is None and (args.baseline is None
+                                      or args.current is None):
+        print("error: --baseline and --current are required unless "
+              "--equal-across is used", file=sys.stderr)
+        return 2
+
+    if args.equal_across is not None:
+        errors: list[str] = []
+        warnings: list[str] = []
+        checked = compare_equal_across(args.equal_across, errors, warnings)
+        if args.baseline is None and args.current is None:
+            for msg in warnings:
+                print(f"warning: {msg}")
+            for msg in errors:
+                print(f"REGRESSION: {msg}")
+            print(f"checked {checked} artifact(s) across "
+                  f"{len(args.equal_across)} run(s): {len(errors)} error(s), "
+                  f"{len(warnings)} warning(s)")
+            return 1 if errors else 0
+        # Both modes requested: fold the equality findings into the normal
+        # baseline run below.
+        carried_errors, carried_warnings = errors, warnings
+    else:
+        carried_errors, carried_warnings = [], []
 
     if not args.current.is_dir():
         print(f"error: current directory {args.current} does not exist",
@@ -234,8 +334,8 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    errors: list[str] = []
-    warnings: list[str] = []
+    errors = carried_errors
+    warnings = carried_warnings
     for name, doc in current.items():
         validate_schema(name, doc, errors)
     for name, doc in baseline.items():

@@ -1,0 +1,50 @@
+# Proves the parallel-engine identity contract through the real binary:
+# `sharedres_cli solve --algorithm=unit --parallel=N` must write a schedule
+# file byte-identical (cmp) to the scalar engine's, at every pinned
+# SHAREDRES_THREADS value, on both a heavy-regime instance (the fast path
+# applies end to end) and a front-accumulation instance (the fast path must
+# bail and fall back). Run by ctest as cli_parallel_identity (label tier1).
+#
+#   usage: test_parallel_identity.sh <path-to-sharedres_cli>
+set -u
+
+CLI=${1:?usage: test_parallel_identity.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# gen <machines> <out>: unit-size uniform instances. At m=128 the default
+# r-range keeps every window heavy (the fast path applies end to end); at
+# m=4 light windows slide, so the fast path must bail and fall back.
+gen() {
+  "$CLI" gen --family=uniform --machines="$1" --jobs=4000 --max-size=1 \
+    --seed=9 --out="$2" > /dev/null || fail "gen (m=$1) exited $?"
+}
+
+gen 128 "$TMP/heavy.txt"
+gen 4 "$TMP/light.txt"
+
+for inst in heavy light; do
+  "$CLI" solve --instance="$TMP/$inst.txt" --algorithm=unit \
+    --out="$TMP/$inst.scalar" > /dev/null \
+    || fail "scalar solve ($inst) exited $?"
+  for threads in 1 2 8; do
+    SHAREDRES_THREADS=$threads "$CLI" solve --instance="$TMP/$inst.txt" \
+      --algorithm=unit --parallel=$threads \
+      --out="$TMP/$inst.par$threads" > /dev/null \
+      || fail "parallel solve ($inst, threads=$threads) exited $?"
+    cmp -s "$TMP/$inst.scalar" "$TMP/$inst.par$threads" \
+      || fail "schedule differs: $inst scalar vs --parallel=$threads"
+  done
+done
+
+# Flag contract: --parallel with a non-unit algorithm is a usage error.
+"$CLI" solve --instance="$TMP/heavy.txt" --algorithm=window --parallel=2 \
+  > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--parallel with --algorithm=window must exit 2"
+
+echo "OK: parallel schedules byte-identical to scalar across thread counts"

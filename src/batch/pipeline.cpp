@@ -22,6 +22,7 @@
 #include "io/text_io.hpp"
 #include "obs/json_export.hpp"
 #include "obs/registry.hpp"
+#include "util/align.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -32,8 +33,11 @@ namespace {
 /// Per-worker reusable state. The engines are lazily constructed on the
 /// worker's first suitable record and rebound with reset() afterwards; the
 /// metrics registry collects this worker's batch.* counters for the
-/// worker-order merge after the pool drains.
-struct WorkerScratch {
+/// worker-order merge after the pool drains. Cache-line aligned: scratch
+/// blocks live contiguously in a deque and every worker hammers its own
+/// block's counters, so an unaligned boundary would put two workers' hot
+/// words on one line.
+struct alignas(util::kCacheLineSize) WorkerScratch {
   std::optional<core::SosEngine> sos;
   std::optional<core::UnitEngine> unit;
   core::Schedule schedule;

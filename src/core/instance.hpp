@@ -37,6 +37,45 @@ class Instance {
   [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
   [[nodiscard]] const Job& job(JobId j) const { return jobs_[j]; }
 
+  // ---- structure-of-arrays views (engine hot paths) ----
+  //
+  // The engines' window maintenance walks jobs by the thousands per step;
+  // reading one 8-byte field out of a contiguous array instead of a 16-byte
+  // Job struct halves the cache traffic and lets the per-window accumulation
+  // loops auto-vectorize. Built once at construction, same index space as
+  // jobs(); requirements()[j] == job(j).requirement etc.
+
+  /// r_j per sorted job, contiguous.
+  [[nodiscard]] const std::vector<Res>& requirements() const {
+    return requirements_;
+  }
+  /// p_j per sorted job, contiguous.
+  [[nodiscard]] const std::vector<Res>& sizes() const { return sizes_; }
+  /// s_j = p_j · r_j per sorted job, contiguous (checked at construction).
+  [[nodiscard]] const std::vector<Res>& total_requirements() const {
+    return total_requirements_;
+  }
+
+  /// Prefix sums over requirements(): element i is Σ_{j<i} r_j, size n+1.
+  /// Σ r_j over the contiguous sorted range [lo, hi) is a two-load O(1)
+  /// query: requirement_prefix()[hi] - requirement_prefix()[lo].
+  [[nodiscard]] const std::vector<Res>& requirement_prefix() const {
+    return requirement_prefix_;
+  }
+  /// Prefix sums over total_requirements(): element i is Σ_{j<i} s_j.
+  [[nodiscard]] const std::vector<Res>& total_requirement_prefix() const {
+    return total_requirement_prefix_;
+  }
+  /// Σ r_j over sorted jobs [lo, hi); requires lo ≤ hi ≤ size().
+  [[nodiscard]] Res requirement_range(std::size_t lo, std::size_t hi) const {
+    return requirement_prefix_[hi] - requirement_prefix_[lo];
+  }
+  /// Σ s_j over sorted jobs [lo, hi); requires lo ≤ hi ≤ size().
+  [[nodiscard]] Res total_requirement_range(std::size_t lo,
+                                            std::size_t hi) const {
+    return total_requirement_prefix_[hi] - total_requirement_prefix_[lo];
+  }
+
   /// Index of sorted job j in the constructor's job vector.
   [[nodiscard]] std::size_t original_id(JobId j) const { return original_[j]; }
 
@@ -52,6 +91,11 @@ class Instance {
   Res capacity_;
   std::vector<Job> jobs_;
   std::vector<std::size_t> original_;
+  std::vector<Res> requirements_;
+  std::vector<Res> sizes_;
+  std::vector<Res> total_requirements_;
+  std::vector<Res> requirement_prefix_;        // size n+1
+  std::vector<Res> total_requirement_prefix_;  // size n+1
   Res total_requirement_ = 0;
   Res total_size_ = 0;
   bool unit_size_ = true;

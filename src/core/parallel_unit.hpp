@@ -1,0 +1,58 @@
+// Intra-instance parallel fast path for the unit-size sliding-window engine.
+//
+// The scalar UnitEngine (unit_engine.hpp) walks a doubly-linked virtual
+// order one window at a time: inherently sequential, pointer-chasing, and one
+// share-vector allocation per block on the critical path. This module splits
+// the same computation into three phases so the bulk of the work — writing
+// the per-block assignment vectors — runs on all cores:
+//
+//   1. Skeleton (sequential, cheap). In the *heavy prefix-consumption
+//      regime* the engine's entire state collapses to two scalars: the first
+//      still-alive index c of the statically sorted job array, and the key q
+//      of the started job ι. This holds because (i) jobs are sorted by
+//      requirement, (ii) windows consume a contiguous prefix, and (iii) the
+//      carried ι always re-inserts at the *front* of the virtual order —
+//      q = r_ρ − max_share < r_ρ ≤ r_{ρ+1} strictly, for ρ the previous
+//      window's maximum. Each window is then a prefix-sum binary search
+//      (Instance::requirement_prefix): the smallest right end x with
+//      q + Σ_{j∈[c,x)} r_j ≥ C, capped at m members. The skeleton emits one
+//      fixed-size BlockDesc per block in O(blocks · log n).
+//   2. Materialization (parallel). Each descriptor expands to its
+//      assignment vector independently of every other descriptor — the
+//      window members and shares are pure functions of (c, q, prefix sums).
+//      util::parallel_for_ranges fans the descriptors out over a
+//      deterministic static partition; the vectors' *contents* depend only
+//      on the descriptor index, so the schedule is bit-identical across
+//      SHAREDRES_THREADS (DESIGN.md §12 determinism contract).
+//   3. Assembly (sequential, cheap). Blocks append in descriptor order via
+//      Schedule::append — identical append sequence, hence identical merge
+//      behavior and schedule.* counters, to a scalar run.
+//
+// The moment a window would leave the regime — it reaches m members while
+// still light with jobs remaining to the right (the MoveWindowRight slide
+// regime, e.g. the front-accumulation adversarial family) — the skeleton
+// bails out and the caller falls back to the scalar engine, so the fast
+// path never produces a schedule the scalar engine would not.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace sharedres::core {
+
+/// Attempt the descriptor-parallel schedule for a unit-size instance.
+/// Requires instance.unit_size() and m ≥ 2 (throws std::logic_error
+/// otherwise, mirroring UnitEngine). `threads` ≥ 1 bounds the
+/// materialization workers; the output does not depend on it.
+///
+/// Returns true and appends the complete schedule to `out` when the
+/// instance stays in the heavy prefix-consumption regime; returns false
+/// with `out` untouched when the skeleton bails (the caller runs the scalar
+/// engine instead). On success the emitted block sequence is bit-identical
+/// to UnitEngine::run(out, /*fast_forward=*/true).
+[[nodiscard]] bool schedule_unit_parallel(const Instance& instance,
+                                          Schedule& out, std::size_t threads);
+
+}  // namespace sharedres::core

@@ -18,11 +18,12 @@ namespace {
 [[maybe_unused]] bool light_step_fulfills_requirements(
     const SosEngine& engine, const PlannedStep& planned) {
   std::size_t partial = 0;
+  const std::vector<Res>& reqs = engine.instance().requirements();
   const std::size_t window_shares =
       planned.shares.size() - (planned.extra_job ? 1 : 0);
   for (std::size_t i = 0; i < window_shares; ++i) {
     const Assignment& a = planned.shares[i];
-    if (a.share != engine.instance().job(a.job).requirement) ++partial;
+    if (a.share != reqs[a.job]) ++partial;
   }
   return partial <= 1;
 }
@@ -76,13 +77,17 @@ SosEngine::SosEngine(const Instance& instance, Params params) {
 
 void SosEngine::reset(const Instance& instance, Params params) {
   inst_ = &instance;
+  reqs_ = instance.requirements().data();
+  totals_ = instance.total_requirements().data();
   params_ = params;
   ensure(params_.window_cap >= 1, "window_cap must be >= 1");
   ensure(params_.budget >= 1, "budget must be >= 1");
 
   const std::size_t n = instance.size();
   rem_.resize(n);
-  for (JobId j = 0; j < n; ++j) rem_[j] = instance.job(j).total_requirement();
+  // s_j was checked at Instance construction; this is a straight memcpy-able
+  // copy of the SoA lane instead of n checked multiplications.
+  std::copy_n(totals_, n, rem_.begin());
 
   head_ = n;
   tail_ = n + 1;
@@ -111,6 +116,7 @@ void SosEngine::reset(const Instance& instance, Params params) {
 std::vector<JobId> SosEngine::window_members() const {
   std::vector<JobId> out;
   if (wl_ == kNoJob) return out;
+  out.reserve(wsize_);
   for (JobId j = wl_;; j = next_[j]) {
     out.push_back(j);
     if (j == wr_) break;

@@ -27,6 +27,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "core/window.hpp"
+#include "util/align.hpp"
 
 namespace sharedres::core {
 
@@ -115,10 +116,10 @@ class SosEngine {
   [[nodiscard]] Res window_requirement() const { return wreq_; }
 
  private:
-  [[nodiscard]] Res req(JobId j) const { return inst_->job(j).requirement; }
-  [[nodiscard]] bool started(JobId j) const {
-    return rem_[j] != inst_->job(j).total_requirement();
-  }
+  // Hot-path job attributes through the Instance's SoA views: one 8-byte
+  // contiguous lane per attribute instead of a strided Job-struct load.
+  [[nodiscard]] Res req(JobId j) const { return reqs_[j]; }
+  [[nodiscard]] bool started(JobId j) const { return rem_[j] != totals_[j]; }
   [[nodiscard]] JobId find_fractured() const;
   void add_right(JobId j);
   void finish_job(JobId j);
@@ -133,7 +134,10 @@ class SosEngine {
   /// obs::Registry once per completed run(), keeping the per-block cost of
   /// instrumentation at noise level. Runs that throw publish nothing (their
   /// schedule is rolled back too).
-  struct RunStats {
+  /// Cache-line aligned so that engines owned by different batch workers
+  /// (one per WorkerScratch slot) never fold their per-run accumulators onto
+  /// a shared line — the same false-sharing discipline as util::WorkerPool.
+  struct alignas(util::kCacheLineSize) RunStats {
     std::uint64_t window_hops = 0;
     std::uint64_t blocks = 0;
     std::uint64_t steps = 0;
@@ -146,6 +150,8 @@ class SosEngine {
   };
 
   const Instance* inst_;
+  const Res* reqs_ = nullptr;    // inst_->requirements().data()
+  const Res* totals_ = nullptr;  // inst_->total_requirements().data()
   Params params_;
 
   std::vector<Res> rem_;       // s_j(t−1); 0 = finished

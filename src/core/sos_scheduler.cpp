@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/parallel_unit.hpp"
 #include "core/sos_engine.hpp"
 #include "core/unit_engine.hpp"
 
@@ -36,6 +37,17 @@ Schedule schedule_sos_unit(const Instance& instance,
   }
   Schedule out;
   if (instance.empty()) return out;
+  // Descriptor-parallel fast path: stepwise runs and observers need the
+  // scalar engine's per-step machinery, and tiny instances don't amortize
+  // the skeleton pass. A bail (instance outside the heavy regime) falls
+  // through to the scalar engine with `out` untouched.
+  if (options.parallel_threads > 0 && options.fast_forward &&
+      options.observer == nullptr &&
+      instance.size() >= options.parallel_min_jobs) {
+    if (schedule_unit_parallel(instance, out, options.parallel_threads)) {
+      return out;
+    }
+  }
   UnitEngine engine(instance);
   engine.run(out, options.fast_forward, options.observer);
   return out;

@@ -20,6 +20,7 @@
 #include "core/schedule.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
+#include "util/align.hpp"
 
 namespace sharedres::core {
 
@@ -76,6 +77,7 @@ class UnitEngine {
   [[nodiscard]] JobId find_alive(JobId i) const;
 
   const Instance* inst_;
+  const Res* reqs_ = nullptr;  // inst_->requirements().data() (SoA hot lane)
   std::size_t m_;
   Res capacity_;
 
@@ -105,7 +107,7 @@ class UnitEngine {
   /// the walk/step hot paths free of atomic registry traffic;
   /// publish_stats() flushes them once per completed run(). Mutable because
   /// the const window walk (build_window) classifies its own resume mode.
-  struct RunStats {
+  struct alignas(util::kCacheLineSize) RunStats {
     std::uint64_t iota_resumes = 0;
     std::uint64_t cursor_resumes = 0;
     std::uint64_t window_rebuilds = 0;

@@ -12,7 +12,7 @@ WindowCheckResult fail(const std::string& msg) { return {false, msg}; }
 }  // namespace
 
 bool is_fractured(const Instance& instance, JobId j, Res remaining) {
-  return remaining > 0 && remaining % instance.job(j).requirement != 0;
+  return remaining > 0 && remaining % instance.requirements()[j] != 0;
 }
 
 WindowCheckResult check_window(const WindowSnapshot& snap) {
@@ -42,12 +42,14 @@ WindowCheckResult check_window(const WindowSnapshot& snap) {
     }
   }
 
-  // (b) r(W ∖ {max W}) < budget.
+  // (b) r(W ∖ {max W}) < budget. SoA lane read: the checker runs per step in
+  // property tests, so its accumulation loops matter too.
   if (!snap.window.empty()) {
+    const std::vector<Res>& reqs = inst.requirements();
     const JobId hi = *std::max_element(snap.window.begin(), snap.window.end());
     Res sum = 0;
     for (const JobId j : snap.window) {
-      if (j != hi) sum = util::add_checked(sum, inst.job(j).requirement);
+      if (j != hi) sum = util::add_checked(sum, reqs[j]);
     }
     if (sum >= snap.budget) {
       std::ostringstream os;
@@ -68,9 +70,10 @@ WindowCheckResult check_window(const WindowSnapshot& snap) {
   }
 
   // (d) Jobs outside W are unstarted.
+  const std::vector<Res>& totals = inst.total_requirements();
   for (JobId j = 0; j < n; ++j) {
     if (snap.remaining[j] > 0 && !in_window[j] &&
-        snap.remaining[j] != inst.job(j).total_requirement()) {
+        snap.remaining[j] != totals[j]) {
       std::ostringstream os;
       os << "(d): started job " << j << " outside W";
       return fail(os.str());
@@ -111,8 +114,11 @@ WindowCheckResult check_k_maximal(const WindowSnapshot& snap) {
   }
 
   Res r_w = 0;
-  for (const JobId j : snap.window) {
-    r_w = util::add_checked(r_w, inst.job(j).requirement);
+  {
+    const std::vector<Res>& reqs = inst.requirements();
+    for (const JobId j : snap.window) {
+      r_w = util::add_checked(r_w, reqs[j]);
+    }
   }
 
   // (e′) |W| < k ⇒ (L_t(W) = ∅ ∨ r(W) ≥ budget).

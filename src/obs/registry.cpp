@@ -8,6 +8,20 @@
 
 namespace sharedres::obs {
 
+// ---- Counter sharding -----------------------------------------------------
+
+namespace detail {
+
+std::size_t assign_counter_shard() {
+  // Round-robin over the slot space: with T live threads the shards are as
+  // evenly loaded as possible, and the assignment is per-thread-stable so a
+  // worker's increments always land on one line.
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+}
+
+}  // namespace detail
+
 // ---- Histogram ------------------------------------------------------------
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)

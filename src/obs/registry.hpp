@@ -64,22 +64,64 @@ enum class Kind {
   kHistogram,
 };
 
-/// Monotonically increasing 64-bit sum. add() is a relaxed fetch_add:
-/// increments from concurrent workers commute, so the total is deterministic
-/// whenever the set of increments is.
+namespace detail {
+
+/// Round-robin shard assignment for Counter (registry.cpp); called once per
+/// thread via counter_shard()'s thread_local cache.
+[[nodiscard]] std::size_t assign_counter_shard();
+
+/// This thread's counter shard, assigned on first use and fixed for the
+/// thread's lifetime.
+[[nodiscard]] inline std::size_t counter_shard() {
+  thread_local const std::size_t shard = assign_counter_shard();
+  return shard;
+}
+
+}  // namespace detail
+
+/// Counter shard slots are padded to this many bytes so two threads bumping
+/// different slots never contend on a cache line. Mirrors
+/// util::kCacheLineSize — restated here because this header is
+/// standard-library-only by contract (see file comment), and
+/// std::hardware_destructive_interference_size is unusable under GCC's
+/// -Winterference-size with -Werror.
+inline constexpr std::size_t kCounterSlotAlign = 64;
+
+/// Monotonically increasing 64-bit sum, sharded across cache-line-padded
+/// per-thread slots: add() is a relaxed fetch_add on the calling thread's
+/// slot, so hot counters hit by every pool worker (engine runs, parallel
+/// dispatches) never bounce a shared line between cores. value() sums the
+/// slots — exact whenever the writers are quiescent, which is when every
+/// reader (JSON export, bench comparator, merge_from) runs. Increments from
+/// concurrent workers commute, so the total is deterministic whenever the
+/// set of increments is.
 class Counter {
  public:
-  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Slot count; threads map round-robin onto slots, so contention only
+  /// reappears beyond kShards concurrent writers per counter.
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n) {
+    slots_[detail::counter_shard()].v.fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
   void inc() { add(1); }
   [[nodiscard]] std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
   }
 
  private:
   friend class Registry;
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
 
-  std::atomic<std::uint64_t> value_{0};
+  struct alignas(kCounterSlotAlign) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Slot slots_[kShards];
 };
 
 /// Last-written signed value. set() from concurrent workers is a race on

@@ -1,0 +1,17 @@
+// Cache-line geometry for false-sharing-sensitive data structures.
+//
+// std::hardware_destructive_interference_size would be the standard spelling,
+// but GCC emits -Winterference-size (fatal under SHAREDRES_WERROR) on any ODR
+// use because the value is ABI-fragile across -mtune targets. A fixed 64 is
+// the destructive-interference granularity on every platform CI builds for
+// (x86-64 and aarch64 both pad to 64; aarch64's 256-byte *constructive* size
+// does not matter for padding writers apart).
+#pragma once
+
+#include <cstddef>
+
+namespace sharedres::util {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace sharedres::util

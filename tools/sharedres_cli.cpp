@@ -77,7 +77,8 @@ int usage() {
          "  gen      --family=... --machines=M --jobs=N [--count=K "
          "--format=ndjson] [--out=f]\n"
          "  solve    --instance=f [--algorithm=window|unit|gg|equalsplit|"
-         "sequential] [--gantt] [--stats] [--svg=f.svg] [--out=f]\n"
+         "sequential] [--parallel=N] [--gantt] [--stats] [--svg=f.svg] "
+         "[--out=f]\n"
          "  validate --instance=f --schedule=f [--json] [--max-violations=N]\n"
          "  bounds   --instance=f\n"
          "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
@@ -272,13 +273,32 @@ int cmd_solve(const util::Cli& cli) {
     std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
     return kExitUsage;
   }
+  // --parallel=N engages the descriptor-parallel unit engine with N workers
+  // (0 = scalar, the default). Unit-only: no other algorithm has a parallel
+  // path, and silently ignoring the flag would misreport an experiment.
+  const std::int64_t parallel = cli.get_int("parallel", 0);
+  if (parallel < 0) {
+    std::cerr << "solve: --parallel must be >= 0\n";
+    return kExitUsage;
+  }
+  if (parallel > 0 && algorithm != "unit") {
+    std::cerr << "solve: --parallel requires --algorithm=unit\n";
+    return kExitUsage;
+  }
   const core::Instance inst = io::load_instance(path);
 
   core::Schedule schedule;
   if (algorithm == "window") {
     schedule = core::schedule_sos(inst);
   } else if (algorithm == "unit") {
-    schedule = core::schedule_sos_unit(inst);
+    core::SosOptions options;
+    if (parallel > 0) {
+      options.parallel_threads = static_cast<std::size_t>(parallel);
+      // The CLI flag is an explicit request: engage regardless of size so
+      // identity scripts can diff small instances through the fast path.
+      options.parallel_min_jobs = 0;
+    }
+    schedule = core::schedule_sos_unit(inst, options);
   } else if (algorithm == "gg") {
     schedule = baselines::schedule_garey_graham(inst);
   } else if (algorithm == "equalsplit") {
