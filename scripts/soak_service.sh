@@ -1,0 +1,109 @@
+# Fault-injection soak for the scheduling service. Requires a build with
+# -DSHAREDRES_FAILPOINTS=ON (Debug default); skips cleanly otherwise.
+#
+# Each round arms fail points (env grammar: site=throw@every:N / @prob:P)
+# against a `serve` run and asserts the robustness contract:
+#
+#  * the daemon never crashes — every round exits 0 after a clean drain;
+#  * exactly one typed response line per request, even when engine steps,
+#    deadline checks, admission, or journal appends throw repeatedly;
+#  * injection is contained: a clean (unarmed) re-run afterwards is
+#    byte-identical to the clean reference — no residue, no corruption;
+#  * at SHAREDRES_THREADS=1 an armed run is itself reproducible: the same
+#    arming yields byte-identical output twice. (every:N counts hits
+#    process-globally, so multi-thread armed runs may differ between
+#    reruns; single-thread runs may not.)
+#
+# Run by ctest as service_soak (label tier1_slow) and by the CI
+# service-soak job. Budget: ~30s.
+#
+#   usage: soak_service.sh <path-to-sharedres_cli>
+set -u
+
+CLI=${1:?usage: soak_service.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+if "$CLI" failpoints --list 2> /dev/null | grep -q "compiled out"; then
+  echo "SKIP: fail points compiled out (build with -DSHAREDRES_FAILPOINTS=ON)"
+  exit 0
+fi
+
+COUNT=400
+"$CLI" gen --family=uniform --machines=6 --jobs=900 --seed=3 \
+  --count=$COUNT --format=ndjson --out="$TMP/window.ndjson" > /dev/null \
+  || fail "gen (window stream) exited $?"
+"$CLI" gen --family=uniform --machines=8 --jobs=4000 --max-size=1 --seed=5 \
+  --count=$COUNT --format=ndjson --out="$TMP/unit.ndjson" > /dev/null \
+  || fail "gen (unit stream) exited $?"
+
+# soak <name> <stream> <algorithm> <threads> <failpoints> [extra flags...]
+#
+# Runs serve with the given arming; asserts exit 0, a summary line, and
+# exactly one response line per request. Output lands in $TMP/<name>.out.
+soak() {
+  name=$1; stream=$2; algorithm=$3; threads=$4; fps=$5; shift 5
+  SHAREDRES_FAILPOINTS="$fps" SHAREDRES_THREADS=$threads \
+    "$CLI" serve --algorithm="$algorithm" "$@" < "$stream" \
+    > "$TMP/$name.out" 2> "$TMP/$name.err" \
+    || fail "$name: serve crashed or exited non-zero (armed: $fps)"
+  tail -n 1 "$TMP/$name.out" | grep -q '"summary":true' \
+    || fail "$name: no summary line (armed: $fps)"
+  RESPONSES=$(sed '$d' "$TMP/$name.out" | wc -l)
+  [ "$RESPONSES" -eq "$COUNT" ] \
+    || fail "$name: $RESPONSES responses for $COUNT requests (armed: $fps)"
+}
+
+# ---- per-site rounds: engine steps, deadlines, admission, journal ----------
+soak sos_every "$TMP/window.ndjson" window 4 \
+  "sos_engine.step=throw@every:50"
+soak sos_prob "$TMP/window.ndjson" window 4 \
+  "sos_engine.step=throw@prob:0.001,seed:21"
+soak unit_every "$TMP/unit.ndjson" unit 4 \
+  "unit_engine.step=throw@every:37"
+soak deadline_every "$TMP/window.ndjson" window 4 \
+  "deadline.check=throw@every:41" --deadline-steps=100000
+soak admit_every "$TMP/window.ndjson" window 4 \
+  "service.admit=throw@every:5"
+soak journal_every "$TMP/window.ndjson" window 4 \
+  "service.journal_append=throw@every:4" --journal="$TMP/journal_soak"
+
+# Journal integrity under injected append failures: every journaled line is
+# one of the input lines, verbatim (failed appends are not admitted, and a
+# partial write never merges two records).
+sort "$TMP/journal_soak" > "$TMP/journal_sorted"
+sort "$TMP/window.ndjson" > "$TMP/input_sorted"
+comm -23 "$TMP/journal_sorted" "$TMP/input_sorted" > "$TMP/journal_extra"
+[ -s "$TMP/journal_extra" ] && fail "journal holds lines not in the input"
+
+# ---- everything at once, swept over injection seeds ------------------------
+# Each storm round re-arms every class of fault at once with a different
+# prob seed, so repeated runs explore different failure interleavings.
+for seed in 1 2 3 4 5 6 7 8; do
+  soak "storm_$seed" "$TMP/window.ndjson" window 8 \
+    "sos_engine.step=throw@prob:0.0005,seed:$seed,deadline.check=throw@every:997,service.admit=throw@every:11,service.journal_append=throw@every:7" \
+    --deadline-steps=100000 --journal="$TMP/journal_storm_$seed"
+  rm -f "$TMP/journal_storm_$seed"
+done
+
+# ---- armed reproducibility at threads=1 ------------------------------------
+ARMED="sos_engine.step=throw@every:300,service.admit=throw@every:7"
+soak repro_a "$TMP/window.ndjson" window 1 "$ARMED"
+soak repro_b "$TMP/window.ndjson" window 1 "$ARMED"
+cmp -s "$TMP/repro_a.out" "$TMP/repro_b.out" \
+  || fail "armed single-thread runs are not byte-identical"
+
+# ---- containment: clean re-run is byte-identical to the clean reference ----
+SHAREDRES_THREADS=4 "$CLI" serve --algorithm=window < "$TMP/window.ndjson" \
+  > "$TMP/clean_ref.out" || fail "clean reference serve exited $?"
+SHAREDRES_THREADS=4 "$CLI" serve --algorithm=window < "$TMP/window.ndjson" \
+  > "$TMP/clean_again.out" || fail "clean re-run serve exited $?"
+cmp -s "$TMP/clean_ref.out" "$TMP/clean_again.out" \
+  || fail "clean re-run after the soak differs from the clean reference"
+
+echo "PASS: service soak (6 site rounds, storm, armed repro, containment)"

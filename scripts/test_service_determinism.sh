@@ -1,0 +1,168 @@
+# Proves the service determinism contract through the real binary:
+#
+#  1. `sharedres_cli serve` (stdio, shedding off) output is byte-identical
+#     across SHAREDRES_THREADS=1/2/8 and across reruns — responses AND the
+#     summary line (merged per-worker metrics are thread-count-invariant).
+#  2. The served response body equals `sharedres_cli batch` on the same
+#     stream byte for byte (the service routes through the same per-record
+#     solver), only the summary line differs.
+#  3. Socket mode: each connection's responses are byte-identical to a
+#     stdio run of that connection's sub-stream, regardless of how the two
+#     connections' arrivals interleave (two different interleavings
+#     compared).
+#  4. Restart replay: a journaled run re-served with --replay reproduces a
+#     byte-identical response prefix without re-appending to the journal.
+#
+# Shedding stays OFF (--shed-high-water=0) throughout: shed decisions
+# depend on queue timing and are exactly what this contract excludes.
+#
+# Run by ctest as cli_service_determinism (label tier1).
+#
+#   usage: test_service_determinism.sh <path-to-sharedres_cli>
+set -u
+
+CLI=${1:?usage: test_service_determinism.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+COUNT=30
+"$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=7 \
+  --count=$COUNT --format=ndjson --out="$TMP/stream.ndjson" > /dev/null \
+  || fail "gen --format=ndjson exited $?"
+
+serve() {  # serve <threads> <out> [extra flags...]
+  threads=$1; out=$2; shift 2
+  SHAREDRES_THREADS=$threads "$CLI" serve --emit-schedules "$@" \
+    < "$TMP/stream.ndjson" > "$out" || fail "serve (threads=$threads) exited $?"
+}
+
+# ---- 1: byte identity across thread counts and reruns ----------------------
+serve 1 "$TMP/t1.ndjson"
+serve 2 "$TMP/t2.ndjson"
+serve 8 "$TMP/t8.ndjson"
+serve 8 "$TMP/t8_again.ndjson"
+
+cmp -s "$TMP/t1.ndjson" "$TMP/t2.ndjson" \
+  || fail "serve output differs between SHAREDRES_THREADS=1 and 2"
+cmp -s "$TMP/t1.ndjson" "$TMP/t8.ndjson" \
+  || fail "serve output differs between SHAREDRES_THREADS=1 and 8"
+cmp -s "$TMP/t8.ndjson" "$TMP/t8_again.ndjson" \
+  || fail "serve output differs between identical reruns"
+
+# ---- 2: response body identical to the batch pipeline ----------------------
+SHAREDRES_THREADS=4 "$CLI" batch --in="$TMP/stream.ndjson" --emit-schedules \
+  > "$TMP/batch.ndjson" || fail "batch exited $?"
+sed '$d' "$TMP/t1.ndjson" > "$TMP/serve_body.ndjson"
+sed '$d' "$TMP/batch.ndjson" > "$TMP/batch_body.ndjson"
+cmp -s "$TMP/serve_body.ndjson" "$TMP/batch_body.ndjson" \
+  || fail "serve response body differs from batch output on the same stream"
+tail -n 1 "$TMP/t1.ndjson" | grep -q '"service":true' \
+  || fail "serve summary line missing \"service\":true"
+
+# ---- 3: socket mode, per-connection identity under interleaving ------------
+# Two clients split the stream (even/odd lines). A python3 client drives the
+# socket with two different arrival interleavings; each connection's
+# responses must equal a stdio serve of its own sub-stream both times.
+awk 'NR % 2 == 1' "$TMP/stream.ndjson" > "$TMP/even.ndjson"   # lines 1,3,..
+awk 'NR % 2 == 0' "$TMP/stream.ndjson" > "$TMP/odd.ndjson"
+
+SHAREDRES_THREADS=2 "$CLI" serve --emit-schedules < "$TMP/even.ndjson" \
+  > "$TMP/even_ref_full.ndjson" || fail "serve (even ref) exited $?"
+SHAREDRES_THREADS=2 "$CLI" serve --emit-schedules < "$TMP/odd.ndjson" \
+  > "$TMP/odd_ref_full.ndjson" || fail "serve (odd ref) exited $?"
+sed '$d' "$TMP/even_ref_full.ndjson" > "$TMP/even_ref.ndjson"
+sed '$d' "$TMP/odd_ref_full.ndjson" > "$TMP/odd_ref.ndjson"
+
+socket_round() {  # socket_round <mode: lockstep|bursts> <outdir>
+  mode=$1; outdir=$2
+  mkdir -p "$outdir"
+  SOCK="$TMP/sock.$mode"
+  SHAREDRES_THREADS=2 "$CLI" serve --socket="$SOCK" --emit-schedules \
+    > "$outdir/server.out" 2> "$outdir/server.err" &
+  SRV=$!
+  python3 - "$SOCK" "$TMP/even.ndjson" "$TMP/odd.ndjson" \
+    "$outdir/even.resp" "$outdir/odd.resp" "$mode" <<'PYEOF' \
+    || fail "socket client ($mode) failed"
+import socket, sys, threading, time
+
+sock_path, even_in, odd_in, even_out, odd_out, mode = sys.argv[1:7]
+
+for _ in range(100):          # wait for the listener to appear
+    try:
+        probe = socket.socket(socket.AF_UNIX)
+        probe.connect(sock_path)
+        probe.close()
+        break
+    except OSError:
+        time.sleep(0.05)
+else:
+    sys.exit("socket never came up")
+
+def lines_of(path):
+    with open(path, "rb") as f:
+        return [l for l in f.read().split(b"\n") if l.strip()]
+
+def drive(in_path, out_path, chunk):
+    lines = lines_of(in_path)
+    conn = socket.socket(socket.AF_UNIX)
+    conn.connect(sock_path)
+    got = []
+    buf = b""
+    def reader():
+        nonlocal buf
+        while True:
+            data = conn.recv(65536)
+            if not data:
+                break
+            buf += data
+    t = threading.Thread(target=reader)
+    t.start()
+    for i in range(0, len(lines), chunk):
+        conn.sendall(b"".join(l + b"\n" for l in lines[i:i + chunk]))
+        time.sleep(0.01)       # let the other client's burst interleave
+    conn.shutdown(socket.SHUT_WR)
+    t.join()
+    while buf.count(b"\n") < len(lines):
+        sys.exit("connection closed before all responses arrived")
+    with open(out_path, "wb") as f:
+        f.write(buf)
+
+chunk = 1 if mode == "lockstep" else 7
+ta = threading.Thread(target=drive, args=(even_in, even_out, chunk))
+tb = threading.Thread(target=drive, args=(odd_in, odd_out, chunk))
+ta.start(); tb.start(); ta.join(); tb.join()
+PYEOF
+  kill -TERM "$SRV" 2> /dev/null
+  wait "$SRV" || fail "socket server ($mode) exited $?"
+  cmp -s "$outdir/even.resp" "$TMP/even_ref.ndjson" \
+    || fail "socket ($mode): even connection's responses differ from stdio run"
+  cmp -s "$outdir/odd.resp" "$TMP/odd_ref.ndjson" \
+    || fail "socket ($mode): odd connection's responses differ from stdio run"
+}
+
+socket_round lockstep "$TMP/round1"
+socket_round bursts "$TMP/round2"
+
+# ---- 4: restart replay from the journal ------------------------------------
+SHAREDRES_THREADS=2 "$CLI" serve --emit-schedules --journal="$TMP/journal" \
+  < "$TMP/stream.ndjson" > "$TMP/life1.ndjson" || fail "journaled serve exited $?"
+cmp -s "$TMP/journal" "$TMP/stream.ndjson" \
+  || fail "journal does not hold the admitted input lines verbatim"
+
+SHAREDRES_THREADS=8 "$CLI" serve --emit-schedules --journal="$TMP/journal" \
+  --replay < /dev/null > "$TMP/life2.ndjson" || fail "replay serve exited $?"
+sed '$d' "$TMP/life1.ndjson" > "$TMP/life1_body.ndjson"
+sed '$d' "$TMP/life2.ndjson" > "$TMP/life2_body.ndjson"
+cmp -s "$TMP/life1_body.ndjson" "$TMP/life2_body.ndjson" \
+  || fail "replayed responses are not byte-identical to the first life"
+cmp -s "$TMP/journal" "$TMP/stream.ndjson" \
+  || fail "replay re-appended to the journal"
+tail -n 1 "$TMP/life2.ndjson" | grep -q "\"replayed\":$COUNT" \
+  || fail "replay summary does not report replayed:$COUNT"
+
+echo "PASS: service determinism (threads, batch parity, socket interleavings, replay)"

@@ -1,0 +1,97 @@
+// Ordered, failure-aware line emission — shared by the batch pipeline and
+// the scheduling service.
+//
+// Results complete out of order (workers race); the output contract is
+// strict input order. OrderedEmitter buffers lines keyed by index and
+// flushes the contiguous prefix. Bounded in practice by queue capacity +
+// worker count: a worker can only run ahead of the slowest index by what
+// the bounded admission queue let through.
+//
+// Output-failure contract: a sink that fails (ostream badbit/failbit —
+// EPIPE, disk full — or a socket write returning an error) flips failed()
+// permanently. Later lines are dropped instead of written (the sink is
+// dead; buffering them would grow without bound), and producers poll
+// failed() to stop scheduling work into a dead sink — run_batch raises a
+// typed util::Error (kIo) once the pool drains, the service closes the
+// client connection. emit() itself never throws: it is called from worker
+// threads whose pool would otherwise abort the whole batch over one broken
+// consumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sharedres::batch {
+
+class OrderedEmitter {
+ public:
+  /// Sink callback: write one line (terminator included by the emitter's
+  /// caller contract — the emitter appends '\n' itself for the ostream
+  /// form). Returns false when the sink has failed; the emitter latches
+  /// failed() and stops writing.
+  using WriteLine = std::function<bool(const std::string& line)>;
+
+  /// Emit through an arbitrary sink (the service's per-client socket path).
+  explicit OrderedEmitter(WriteLine write) : write_(std::move(write)) {}
+
+  /// Emit to a stream, one '\n'-terminated line per emit(). Failure is the
+  /// stream reporting !out after a write — badbit from a dead pipe or a
+  /// full disk, failbit from a closed file.
+  explicit OrderedEmitter(std::ostream& out)
+      : write_([&out](const std::string& line) {
+          out << line << '\n';
+          return static_cast<bool>(out);
+        }) {}
+
+  /// Hand over line `index`; flushes the contiguous prefix in index order.
+  /// Thread-safe; never throws (see file comment).
+  void emit(std::size_t index, std::string line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(index, std::move(line));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      if (!failed_.load(std::memory_order_relaxed)) {
+        if (write_(pending_.begin()->second)) {
+          ++written_;
+        } else {
+          failed_.store(true, std::memory_order_relaxed);
+        }
+      }
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+  /// The sink has failed; emitted lines from that point on were dropped.
+  /// Producers poll this to stop scheduling further records.
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// All emitted lines flushed (call after the pool has drained).
+  [[nodiscard]] bool drained() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.empty();
+  }
+
+  /// Lines handed to the sink successfully so far.
+  [[nodiscard]] std::size_t written() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return written_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::string> pending_;
+  std::size_t next_ = 0;
+  std::size_t written_ = 0;
+  std::atomic<bool> failed_{false};
+  WriteLine write_;
+};
+
+}  // namespace sharedres::batch

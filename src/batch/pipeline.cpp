@@ -11,170 +11,20 @@
 #include <string>
 #include <utility>
 
-#include "baselines/baselines.hpp"
+#include "batch/emitter.hpp"
 #include "batch/stream.hpp"
+#include "batch/worker.hpp"
 #include "cache/canonical.hpp"
 #include "cache/solve_cache.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/sos_engine.hpp"
-#include "core/unit_engine.hpp"
-#include "core/validator.hpp"
 #include "io/text_io.hpp"
 #include "obs/json_export.hpp"
 #include "obs/registry.hpp"
-#include "util/align.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
 namespace sharedres::batch {
 
 namespace {
-
-/// Per-worker reusable state. The engines are lazily constructed on the
-/// worker's first suitable record and rebound with reset() afterwards; the
-/// metrics registry collects this worker's batch.* counters for the
-/// worker-order merge after the pool drains. Cache-line aligned: scratch
-/// blocks live contiguously in a deque and every worker hammers its own
-/// block's counters, so an unaligned boundary would put two workers' hot
-/// words on one line.
-struct alignas(util::kCacheLineSize) WorkerScratch {
-  std::optional<core::SosEngine> sos;
-  std::optional<core::UnitEngine> unit;
-  core::Schedule schedule;
-  obs::Registry metrics{/*ring_capacity=*/1};
-};
-
-/// Solve `inst` into scratch.schedule (reset first). Engine-less baselines
-/// assign a fresh schedule instead; they are simple list algorithms with no
-/// reusable state.
-void solve_into(const core::Instance& inst, const std::string& algorithm,
-                WorkerScratch& scratch) {
-  scratch.schedule.reset();
-  if (algorithm == "window") {
-    if (inst.machines() < 2) {
-      throw util::Error::invalid_instance(
-          "algorithm 'window' requires machines >= 2");
-    }
-    if (inst.empty()) return;
-    const core::SosEngine::Params params{
-        .window_cap = static_cast<std::size_t>(inst.machines() - 1),
-        .budget = inst.capacity(),
-        .allow_extra_job = true,
-    };
-    if (scratch.sos) {
-      scratch.sos->reset(inst, params);
-    } else {
-      scratch.sos.emplace(inst, params);
-    }
-    scratch.sos->run(scratch.schedule);
-  } else if (algorithm == "unit") {
-    if (inst.machines() < 2 || !inst.unit_size()) {
-      throw util::Error::invalid_instance(
-          "algorithm 'unit' requires machines >= 2 and unit-size jobs");
-    }
-    if (inst.empty()) return;
-    if (scratch.unit) {
-      scratch.unit->reset(inst);
-    } else {
-      scratch.unit.emplace(inst);
-    }
-    scratch.unit->run(scratch.schedule);
-  } else if (algorithm == "gg") {
-    scratch.schedule = baselines::schedule_garey_graham(inst);
-  } else if (algorithm == "equalsplit") {
-    scratch.schedule = baselines::schedule_equal_split(inst);
-  } else {
-    scratch.schedule = baselines::schedule_sequential(inst);
-  }
-}
-
-/// Shared tail of every successful solve path: the counters whose sums make
-/// up the summary line. Values are per-record facts, so cached and uncached
-/// paths bump them identically.
-void bump_ok_counters(WorkerScratch& scratch, const ResultRecord& rec) {
-  scratch.metrics.counter("batch.records_ok").inc();
-  scratch.metrics.counter("batch.jobs").add(rec.jobs);
-  scratch.metrics.counter("batch.blocks").add(rec.blocks);
-  scratch.metrics.counter("batch.makespan_sum").add(
-      static_cast<std::uint64_t>(rec.makespan));
-}
-
-/// Solve `inst` locally (no cache) and fill the success fields of `rec` —
-/// the one definition of what an "ok" record looks like, shared by the
-/// uncached path, the cache-producer path (which passes the canonical twin
-/// through `solve` but reports through the same field set), and the
-/// abandoned-entry fallback.
-void solve_record_fields(const core::Instance& inst,
-                         const BatchOptions& options, WorkerScratch& scratch,
-                         ResultRecord& rec) {
-  solve_into(inst, options.algorithm, scratch);
-  const auto check = core::validate(inst, scratch.schedule);
-  if (!check.ok) {
-    throw std::logic_error("batch: produced infeasible schedule: " +
-                           check.error);
-  }
-  rec.ok = true;
-  rec.algorithm = options.algorithm;
-  rec.machines = inst.machines();
-  rec.jobs = inst.size();
-  rec.makespan = scratch.schedule.makespan();
-  rec.lower_bound = core::lower_bounds(inst).combined();
-  rec.blocks = scratch.schedule.blocks().size();
-  if (options.emit_schedules) {
-    std::ostringstream ss;
-    io::write_schedule(ss, scratch.schedule);
-    rec.schedule_text = ss.str();
-  }
-  bump_ok_counters(scratch, rec);
-}
-
-/// Process one input line into its formatted result line. Record-level
-/// problems (parse errors, invalid instances, overflow) become "ok":false
-/// lines and the batch continues; only std::logic_error — a library bug —
-/// escapes (through the pool) and aborts the batch.
-std::string process_record(const std::string& line, std::size_t index,
-                           const BatchOptions& options,
-                           WorkerScratch& scratch) {
-  ResultRecord rec;
-  rec.index = index;
-  scratch.metrics.counter("batch.records").inc();
-  try {
-    const InstanceRecord input = parse_instance_record(line);
-    rec.id = input.id;
-    solve_record_fields(input.instance, options, scratch, rec);
-  } catch (const util::Error& e) {
-    rec.ok = false;
-    rec.error_code = util::to_string(e.code());
-    rec.error_message = e.what();
-  } catch (const util::OverflowError& e) {
-    rec.ok = false;
-    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
-    rec.error_message = e.what();
-  } catch (const std::invalid_argument& e) {
-    // Scheduler/generator preconditions violated by the record's content
-    // (same classification as the CLI's input-error path).
-    rec.ok = false;
-    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
-    rec.error_message = e.what();
-  }
-  if (!rec.ok) {
-    scratch.metrics.counter("batch.records_failed").inc();
-    if (rec.id.empty()) {
-      // Salvage the caller's label for the error line when the JSON itself
-      // is readable (e.g. the instance was semantically invalid).
-      try {
-        const util::Json doc = util::Json::parse(line);
-        if (doc.is_object() && doc.contains("id") &&
-            doc.at("id").is_string()) {
-          rec.id = doc.at("id").as_string();
-        }
-      } catch (const util::Error&) {
-        // Unparseable line: no id to recover.
-      }
-    }
-  }
-  return format_result_record(rec);
-}
 
 /// A record the reader already parsed, canonicalized, and registered with
 /// the solve cache. Everything a worker needs travels in here; the handle
@@ -190,7 +40,7 @@ struct CachedWork {
 /// emit: makespan, lower bound, block structure, and (de-canonicalized)
 /// schedule text are all invariant across the canonical equivalence class.
 std::string process_cached(CachedWork& work, std::size_t index,
-                           const BatchOptions& options,
+                           const WorkOptions& options,
                            WorkerScratch& scratch) {
   ResultRecord rec;
   rec.index = index;
@@ -223,14 +73,16 @@ std::string process_cached(CachedWork& work, std::size_t index,
     }
     if (!served) {
       if (work.handle.hit()) {
-        solve_record_fields(inst, options, scratch, rec);
+        solve_record_fields(inst, options, work.record.deadline_steps,
+                            scratch, rec);
       } else {
         // Producer: solve the canonical twin once, publish it, and report
         // through this record's own scaling. The canonical schedule is the
         // source schedule with every share divided by form.scale (exactly —
         // see tests/test_canonical.cpp), so makespan and block structure
         // carry over unchanged.
-        solve_record_fields(work.form.instance(), options, scratch, rec);
+        solve_record_fields(work.form.instance(), options,
+                            work.record.deadline_steps, scratch, rec);
         if (options.emit_schedules) {
           std::ostringstream ss;
           io::write_schedule(ss, cache::decanonicalize_schedule(
@@ -249,6 +101,9 @@ std::string process_cached(CachedWork& work, std::size_t index,
     rec.ok = false;
     rec.error_code = util::to_string(e.code());
     rec.error_message = e.what();
+    if (e.code() == util::ErrorCode::kDeadlineExceeded) {
+      scratch.metrics.counter("batch.deadline_exceeded").inc();
+    }
   } catch (const util::OverflowError& e) {
     rec.ok = false;
     rec.error_code = util::to_string(util::ErrorCode::kOverflow);
@@ -266,34 +121,6 @@ std::string process_cached(CachedWork& work, std::size_t index,
   return format_result_record(rec);
 }
 
-/// Reorder buffer in front of the output stream: emit(i, line) may arrive in
-/// any order, the stream receives lines strictly in index order. Bounded in
-/// practice by queue capacity + worker count (a worker can only run ahead of
-/// the slowest index by what the bounded queue admitted).
-class OrderedEmitter {
- public:
-  explicit OrderedEmitter(std::ostream& out) : out_(out) {}
-
-  void emit(std::size_t index, std::string line) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    pending_.emplace(index, std::move(line));
-    while (!pending_.empty() && pending_.begin()->first == next_) {
-      out_ << pending_.begin()->second << '\n';
-      pending_.erase(pending_.begin());
-      ++next_;
-    }
-  }
-
-  /// All emitted lines flushed (call after the pool has drained).
-  [[nodiscard]] bool drained() const { return pending_.empty(); }
-
- private:
-  std::mutex mutex_;
-  std::map<std::size_t, std::string> pending_;
-  std::size_t next_ = 0;
-  std::ostream& out_;
-};
-
 bool blank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
@@ -307,6 +134,12 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       a != "sequential") {
     throw util::Error::cli("algorithm", "unknown algorithm '" + a + "'");
   }
+
+  WorkOptions work_options;
+  work_options.algorithm = options.algorithm;
+  work_options.emit_schedules = options.emit_schedules;
+  work_options.default_deadline_steps = options.default_deadline_steps;
+  work_options.deadline_ms = options.deadline_ms;
 
   // deque: WorkerScratch holds a Registry (neither movable nor copyable),
   // and worker threads hold references across emplacement of later slots.
@@ -345,16 +178,20 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     scratch.emplace_back();
     while (std::getline(in, line)) {
       if (blank(line)) continue;
+      // A dead sink (EPIPE, disk full) stops the batch: solving records
+      // whose results can never be delivered is wasted work.
+      if (emitter.failed()) break;
       if (cache) {
         if (auto work = prepare(line)) {
-          emitter.emit(index,
-                       process_cached(*work, index, options, scratch[0]));
+          emitter.emit(
+              index, process_cached(*work, index, work_options, scratch[0]));
         } else {
-          emitter.emit(index,
-                       process_record(line, index, options, scratch[0]));
+          emitter.emit(
+              index, process_record(line, index, work_options, scratch[0]));
         }
       } else {
-        emitter.emit(index, process_record(line, index, options, scratch[0]));
+        emitter.emit(index,
+                     process_record(line, index, work_options, scratch[0]));
       }
       ++index;
     }
@@ -363,6 +200,9 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
     for (std::size_t w = 0; w < pool.threads(); ++w) scratch.emplace_back();
     while (std::getline(in, line)) {
       if (blank(line)) continue;
+      // Stop scheduling into a dead sink; records already queued still run
+      // (their emits are dropped by the failed emitter).
+      if (emitter.failed()) break;
       std::optional<CachedWork> work;
       if (cache && (work = prepare(line))) {
         // shared_ptr because std::function requires a copyable callable and
@@ -370,21 +210,28 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
         // keeps the no-deadlock guarantee: a key's producer task is always
         // queued before its waiters.
         auto shared = std::make_shared<CachedWork>(std::move(*work));
-        pool.submit([shared, index, &options, &scratch,
+        pool.submit([shared, index, &work_options, &scratch,
                      &emitter](std::size_t w) {
-          emitter.emit(index,
-                       process_cached(*shared, index, options, scratch[w]));
+          emitter.emit(index, process_cached(*shared, index, work_options,
+                                             scratch[w]));
         });
       } else {
-        pool.submit([record = std::move(line), index, &options, &scratch,
+        pool.submit([record = std::move(line), index, &work_options, &scratch,
                      &emitter](std::size_t w) {
-          emitter.emit(index,
-                       process_record(record, index, options, scratch[w]));
+          emitter.emit(index, process_record(record, index, work_options,
+                                             scratch[w]));
         });
       }
       ++index;
     }
     pool.close();  // drain; rethrows the first worker logic_error, if any
+  }
+  if (emitter.failed()) {
+    // Typed: callers (the CLI's exit-code contract) treat a broken output
+    // stream as an IO failure, not as a silent short batch.
+    throw util::Error::io(
+        "batch: output stream failed (broken pipe or disk full); wrote " +
+        std::to_string(emitter.written()) + " result lines before failing");
   }
   if (!emitter.drained()) {
     throw std::logic_error("batch: emitter left lines behind");
@@ -414,6 +261,9 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   doc.emplace("makespan_sum", summary.makespan_sum);
   doc.emplace("metrics", summary.metrics);
   out << doc.dump() << '\n';
+  if (!out) {
+    throw util::Error::io("batch: output stream failed writing the summary");
+  }
   return summary;
 }
 

@@ -27,7 +27,10 @@
 //
 // Fault containment: a malformed or semantically invalid record yields a
 // typed per-record error line (`"ok":false`) and the batch continues;
-// run_batch throws only when the stream itself is unusable or a library
+// run_batch throws only when the stream itself is unusable — including the
+// OUTPUT stream: a sink that fails mid-batch (EPIPE, disk full) stops the
+// reader from scheduling further records and surfaces as a typed
+// util::Error (kIo) once in-flight work drains — or when a library
 // invariant breaks (std::logic_error — a bug, not bad input).
 //
 // Scratch reuse: each worker owns one SosEngine, one UnitEngine and one
@@ -68,6 +71,13 @@ struct BatchOptions {
   /// Embed each feasible schedule (io::write_schedule text) in its result
   /// line under "schedule".
   bool emit_schedules = false;
+  /// Step budget applied to records that carry no "deadline_steps" field of
+  /// their own; expiry yields a typed "deadline_exceeded" error line.
+  /// 0 = unlimited. See util/deadline.hpp.
+  std::uint64_t default_deadline_steps = 0;
+  /// Per-record wall-clock budget in milliseconds (0 = none). Inherently
+  /// nondeterministic — never use it in determinism comparisons.
+  std::uint64_t deadline_ms = 0;
   /// > 0 enables the canonical-instance solve cache (src/cache) with this
   /// many resident entries. Records whose canonical key repeats — job
   /// permutations, common-factor rescalings — reuse the first solve; the

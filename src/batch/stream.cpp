@@ -104,9 +104,10 @@ std::optional<InstanceRecord> parse_fast(const std::string& line) {
   std::string record_id;
   std::int64_t machines = 0;
   std::int64_t capacity = 0;
+  std::int64_t deadline_steps = 0;
   std::vector<core::Job> jobs;
   bool seen_id = false, seen_machines = false, seen_capacity = false,
-       seen_jobs = false;
+       seen_jobs = false, seen_deadline = false;
   if (!s.lit('}')) {
     for (;;) {
       std::string key;
@@ -120,6 +121,12 @@ std::optional<InstanceRecord> parse_fast(const std::string& line) {
       } else if (key == "capacity") {
         if (seen_capacity || !s.int15(capacity)) return std::nullopt;
         seen_capacity = true;
+      } else if (key == "deadline_steps") {
+        // Negative budgets fall back so the DOM path owns the error text.
+        if (seen_deadline || !s.int15(deadline_steps) || deadline_steps < 0) {
+          return std::nullopt;
+        }
+        seen_deadline = true;
       } else if (key == "jobs") {
         if (seen_jobs || !s.lit('[')) return std::nullopt;
         seen_jobs = true;
@@ -156,7 +163,8 @@ std::optional<InstanceRecord> parse_fast(const std::string& line) {
   // errors) is the first thing that can reject on either path.
   return InstanceRecord{
       std::move(record_id),
-      core::Instance(static_cast<int>(machines), capacity, std::move(jobs))};
+      core::Instance(static_cast<int>(machines), capacity, std::move(jobs)),
+      static_cast<std::uint64_t>(deadline_steps)};
 }
 
 }  // namespace
@@ -181,6 +189,12 @@ InstanceRecord parse_instance_record(const std::string& line) {
   }
   const std::int64_t capacity = require_int(doc.at("capacity"), "capacity");
 
+  std::int64_t deadline_steps = 0;
+  if (doc.contains("deadline_steps")) {
+    deadline_steps = require_int(doc.at("deadline_steps"), "deadline_steps");
+    if (deadline_steps < 0) bad("deadline_steps must be >= 0");
+  }
+
   const util::Json& jobs = doc.at("jobs");
   if (!jobs.is_array()) bad("jobs must be an array");
   std::vector<core::Job> parsed;
@@ -199,7 +213,8 @@ InstanceRecord parse_instance_record(const std::string& line) {
   // computes checked totals; its typed errors propagate to the caller.
   return InstanceRecord{
       std::move(record_id),
-      core::Instance(static_cast<int>(machines), capacity, std::move(parsed))};
+      core::Instance(static_cast<int>(machines), capacity, std::move(parsed)),
+      static_cast<std::uint64_t>(deadline_steps)};
 }
 
 std::string format_instance_record(const core::Instance& instance,

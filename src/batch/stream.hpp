@@ -6,7 +6,9 @@
 //   {"id":"inst-0","machines":4,"capacity":100,"jobs":[[1,40],[2,25]]}
 //
 // `jobs` lists [size, requirement] pairs in the caller's order; `id` is an
-// optional caller-chosen label echoed back in the matching result line. The
+// optional caller-chosen label echoed back in the matching result line; an
+// optional `"deadline_steps":N` caps the solve's step budget (expiry yields
+// a typed "deadline_exceeded" error line — see util/deadline.hpp). The
 // output stream mirrors the input one result line per record, in input
 // order, followed by a single summary line (see pipeline.hpp):
 //
@@ -31,6 +33,10 @@ namespace sharedres::batch {
 struct InstanceRecord {
   std::string id;  ///< optional "id" field; empty when absent
   core::Instance instance;
+  /// Optional "deadline_steps" field: per-record step budget for the solve
+  /// (util/deadline.hpp). 0 = absent; the pipeline falls back to its
+  /// default budget, if any.
+  std::uint64_t deadline_steps = 0;
 };
 
 /// Parse one NDJSON instance line. Throws util::Error (kParse) on malformed

@@ -1,0 +1,153 @@
+#include "batch/worker.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/baselines.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/validator.hpp"
+#include "io/text_io.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace sharedres::batch {
+
+void solve_into(const core::Instance& inst, const std::string& algorithm,
+                WorkerScratch& scratch) {
+  scratch.schedule.reset();
+  if (algorithm == "window") {
+    if (inst.machines() < 2) {
+      throw util::Error::invalid_instance(
+          "algorithm 'window' requires machines >= 2");
+    }
+    if (inst.empty()) return;
+    const core::SosEngine::Params params{
+        .window_cap = static_cast<std::size_t>(inst.machines() - 1),
+        .budget = inst.capacity(),
+        .allow_extra_job = true,
+    };
+    if (scratch.sos) {
+      scratch.sos->reset(inst, params);
+    } else {
+      scratch.sos.emplace(inst, params);
+    }
+    scratch.sos->run(scratch.schedule);
+  } else if (algorithm == "unit") {
+    if (inst.machines() < 2 || !inst.unit_size()) {
+      throw util::Error::invalid_instance(
+          "algorithm 'unit' requires machines >= 2 and unit-size jobs");
+    }
+    if (inst.empty()) return;
+    if (scratch.unit) {
+      scratch.unit->reset(inst);
+    } else {
+      scratch.unit.emplace(inst);
+    }
+    scratch.unit->run(scratch.schedule);
+  } else if (algorithm == "gg") {
+    scratch.schedule = baselines::schedule_garey_graham(inst);
+  } else if (algorithm == "equalsplit") {
+    scratch.schedule = baselines::schedule_equal_split(inst);
+  } else {
+    scratch.schedule = baselines::schedule_sequential(inst);
+  }
+}
+
+void bump_ok_counters(WorkerScratch& scratch, const ResultRecord& rec) {
+  scratch.metrics.counter("batch.records_ok").inc();
+  scratch.metrics.counter("batch.jobs").add(rec.jobs);
+  scratch.metrics.counter("batch.blocks").add(rec.blocks);
+  scratch.metrics.counter("batch.makespan_sum").add(
+      static_cast<std::uint64_t>(rec.makespan));
+}
+
+void solve_record_fields(const core::Instance& inst,
+                         const WorkOptions& options,
+                         std::uint64_t deadline_steps, WorkerScratch& scratch,
+                         ResultRecord& rec) {
+  {
+    util::deadline::Limits limits;
+    limits.max_steps = deadline_steps != 0 ? deadline_steps
+                                           : options.default_deadline_steps;
+    if (options.deadline_ms != 0) {
+      limits.deadline_ns =
+          util::deadline::now_ns() + options.deadline_ms * 1'000'000ull;
+    }
+    if (limits.max_steps != 0 || limits.deadline_ns != 0) {
+      const util::deadline::Scope scope(limits);
+      solve_into(inst, options.algorithm, scratch);
+    } else {
+      solve_into(inst, options.algorithm, scratch);
+    }
+  }
+  const auto check = core::validate(inst, scratch.schedule);
+  if (!check.ok) {
+    throw std::logic_error("batch: produced infeasible schedule: " +
+                           check.error);
+  }
+  rec.ok = true;
+  rec.algorithm = options.algorithm;
+  rec.machines = inst.machines();
+  rec.jobs = inst.size();
+  rec.makespan = scratch.schedule.makespan();
+  rec.lower_bound = core::lower_bounds(inst).combined();
+  rec.blocks = scratch.schedule.blocks().size();
+  if (options.emit_schedules) {
+    std::ostringstream ss;
+    io::write_schedule(ss, scratch.schedule);
+    rec.schedule_text = ss.str();
+  }
+  bump_ok_counters(scratch, rec);
+}
+
+std::string process_record(const std::string& line, std::size_t index,
+                           const WorkOptions& options,
+                           WorkerScratch& scratch) {
+  ResultRecord rec;
+  rec.index = index;
+  scratch.metrics.counter("batch.records").inc();
+  try {
+    const InstanceRecord input = parse_instance_record(line);
+    rec.id = input.id;
+    solve_record_fields(input.instance, options, input.deadline_steps,
+                        scratch, rec);
+  } catch (const util::Error& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(e.code());
+    rec.error_message = e.what();
+    if (e.code() == util::ErrorCode::kDeadlineExceeded) {
+      scratch.metrics.counter("batch.deadline_exceeded").inc();
+    }
+  } catch (const util::OverflowError& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
+    rec.error_message = e.what();
+  } catch (const std::invalid_argument& e) {
+    // Scheduler/generator preconditions violated by the record's content
+    // (same classification as the CLI's input-error path).
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
+    rec.error_message = e.what();
+  }
+  if (!rec.ok) {
+    scratch.metrics.counter("batch.records_failed").inc();
+    if (rec.id.empty()) {
+      // Salvage the caller's label for the error line when the JSON itself
+      // is readable (e.g. the instance was semantically invalid).
+      try {
+        const util::Json doc = util::Json::parse(line);
+        if (doc.is_object() && doc.contains("id") &&
+            doc.at("id").is_string()) {
+          rec.id = doc.at("id").as_string();
+        }
+      } catch (const util::Error&) {
+        // Unparseable line: no id to recover.
+      }
+    }
+  }
+  return format_result_record(rec);
+}
+
+}  // namespace sharedres::batch

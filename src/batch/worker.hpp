@@ -1,0 +1,93 @@
+// Per-record solve processing — the unit of work shared by the batch
+// pipeline (src/batch/pipeline.cpp) and the persistent scheduling service
+// (src/service). One input NDJSON line in, one formatted result line out,
+// against per-worker reusable scratch.
+//
+// Extracted from pipeline.cpp when the service arrived (DESIGN.md §13): the
+// service's determinism contract — a served request's response line is
+// byte-identical to what `batch` would emit for the same record — holds by
+// construction because both front ends call the same process_record().
+//
+// Deadline contract: a record carrying "deadline_steps":N (or a nonzero
+// WorkOptions::default_deadline_steps / deadline_ns) runs its solve under a
+// util::deadline::Scope. Expiry surfaces as a typed "deadline_exceeded"
+// error line; the engines' strong exception guarantee plus their reset()
+// rebind keeps the scratch reusable for the next record (tested in
+// tests/test_service.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "batch/stream.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/sos_engine.hpp"
+#include "core/unit_engine.hpp"
+#include "obs/registry.hpp"
+#include "util/align.hpp"
+
+namespace sharedres::batch {
+
+/// Per-worker reusable state. The engines are lazily constructed on the
+/// worker's first suitable record and rebound with reset() afterwards; the
+/// metrics registry collects this worker's batch.* counters for the
+/// worker-order merge after the pool drains. Cache-line aligned: scratch
+/// blocks live contiguously in a deque and every worker hammers its own
+/// block's counters, so an unaligned boundary would put two workers' hot
+/// words on one line.
+struct alignas(util::kCacheLineSize) WorkerScratch {
+  std::optional<core::SosEngine> sos;
+  std::optional<core::UnitEngine> unit;
+  core::Schedule schedule;
+  obs::Registry metrics{/*ring_capacity=*/1};
+};
+
+/// The per-record processing knobs — the subset of BatchOptions /
+/// ServiceOptions that the worker needs, decoupled so the two front ends
+/// can share it.
+struct WorkOptions {
+  /// window | unit | gg | equalsplit | sequential. Callers validate.
+  std::string algorithm = "window";
+  /// Embed each feasible schedule (io::write_schedule text) in its result
+  /// line under "schedule".
+  bool emit_schedules = false;
+  /// Step budget applied to records that carry no "deadline_steps" of
+  /// their own. 0 = unlimited. Deterministic (counts step-loop iterations).
+  std::uint64_t default_deadline_steps = 0;
+  /// Per-record wall-clock budget from solve start, in milliseconds.
+  /// 0 = none. Inherently nondeterministic — see util/deadline.hpp.
+  std::uint64_t deadline_ms = 0;
+};
+
+/// Solve `inst` into scratch.schedule (reset first) with the named
+/// algorithm. Engine-less baselines assign a fresh schedule instead.
+void solve_into(const core::Instance& inst, const std::string& algorithm,
+                WorkerScratch& scratch);
+
+/// Shared tail of every successful solve path: the counters whose sums make
+/// up the summary line. Values are per-record facts, so cached and uncached
+/// paths bump them identically.
+void bump_ok_counters(WorkerScratch& scratch, const ResultRecord& rec);
+
+/// Solve `inst` locally (no cache) under the record's deadline and fill the
+/// success fields of `rec` — the one definition of what an "ok" record
+/// looks like, shared by the uncached path, the cache-producer path, and
+/// the abandoned-entry fallback. `deadline_steps` is the record's own
+/// budget (0 = fall back to options.default_deadline_steps).
+void solve_record_fields(const core::Instance& inst,
+                         const WorkOptions& options,
+                         std::uint64_t deadline_steps, WorkerScratch& scratch,
+                         ResultRecord& rec);
+
+/// Process one input line into its formatted result line. Record-level
+/// problems (parse errors, invalid instances, overflow, deadline expiry,
+/// injected faults) become "ok":false lines and processing continues; only
+/// std::logic_error — a library bug — escapes.
+[[nodiscard]] std::string process_record(const std::string& line,
+                                         std::size_t index,
+                                         const WorkOptions& options,
+                                         WorkerScratch& scratch);
+
+}  // namespace sharedres::batch

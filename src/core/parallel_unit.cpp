@@ -8,6 +8,7 @@
 
 #include "core/types.hpp"
 #include "obs/registry.hpp"
+#include "util/deadline.hpp"
 #include "util/parallel.hpp"
 
 namespace sharedres::core {
@@ -75,6 +76,9 @@ bool build_descriptors(const Instance& inst, std::vector<BlockDesc>& descs,
   };
 
   while (c < n || q > 0) {
+    // Same per-step cancellation placement as the scalar loops: the skeleton
+    // replay is the sequential bottleneck of the parallel path.
+    util::deadline::check("parallel_unit.skeleton");
     if (q >= cap) {
       // Solo started job absorbing the full capacity: the scalar engine's
       // fast-forward branch (q > C) or its one-step heavy window (q == C).

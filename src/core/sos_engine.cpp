@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "util/deadline.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::core {
@@ -411,6 +412,7 @@ void SosEngine::run_loop(Schedule& out, bool fast_forward,
                          PlannedStep& again) {
   while (!done()) {
     SHAREDRES_FAILPOINT("sos_engine.step");
+    util::deadline::check("sos_engine.step");
     prepare_step();
     plan_into(planned);
     const Time first_step = now_ + 1;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "util/deadline.hpp"
 #include "util/failpoint.hpp"
 
 namespace sharedres::core {
@@ -272,6 +273,7 @@ void UnitEngine::run_loop(Schedule& out, bool fast_forward,
                           StepObserver* observer) {
   while (!done()) {
     SHAREDRES_FAILPOINT("unit_engine.step");
+    util::deadline::check("unit_engine.step");
     const StepPlan plan = build_window();
 
     // Fast-forward: a solo window whose job absorbs the whole capacity

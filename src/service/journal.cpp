@@ -1,0 +1,120 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace sharedres::service {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+Journal::Journal(const std::string& path, bool fsync_each)
+    : path_(path), fsync_each_(fsync_each) {
+  // Self-heal a torn tail left by a crash mid-append: an unterminated final
+  // line was never admitted (read_admitted ignores it), but appending after
+  // it would merge garbage into the NEXT admitted line — so truncate it away
+  // before the first append of this life.
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw util::Error::io("journal: cannot open '" + path +
+                          "': " + errno_text());
+  }
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    off_t keep = size;
+    char c = 0;
+    while (keep > 0) {
+      if (::pread(fd_, &c, 1, keep - 1) != 1) {
+        ::close(fd_);
+        throw util::Error::io("journal: cannot read tail of '" + path +
+                              "': " + errno_text());
+      }
+      if (c == '\n') break;
+      --keep;
+    }
+    if (keep != size && ::ftruncate(fd_, keep) != 0) {
+      ::close(fd_);
+      throw util::Error::io("journal: cannot truncate torn tail of '" + path +
+                            "': " + errno_text());
+    }
+  }
+  // Reopen in append mode: every write lands atomically at the current end
+  // of file, even if an operator tails or copies the journal concurrently.
+  ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw util::Error::io("journal: cannot reopen '" + path +
+                          "': " + errno_text());
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const std::string& line) {
+  SHAREDRES_FAILPOINT("service.journal_append");
+  std::string buf = line;
+  buf.push_back('\n');
+  // One write(2) for line + '\n': a crash between two writes could otherwise
+  // leave a terminated-but-unadmitted line that replay would trust.
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partial line may be on disk now; it is unterminated, so replay
+      // drops it as a torn tail. The NEXT append would extend that torn
+      // fragment into a corrupt merged line, so terminate it first.
+      if (off > 0) {
+        const char nl = '\n';
+        (void)!::write(fd_, &nl, 1);
+      }
+      throw util::Error::io("journal: write to '" + path_ +
+                            "' failed: " + errno_text());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    throw util::Error::io("journal: fsync of '" + path_ +
+                          "' failed: " + errno_text());
+  }
+  ++appended_;
+}
+
+Journal::Replay Journal::read_admitted(const std::string& path) {
+  Replay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (::access(path.c_str(), F_OK) != 0) return replay;  // first boot
+    throw util::Error::io("journal: cannot read '" + path + "'");
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw util::Error::io("journal: read of '" + path + "' failed");
+  }
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      replay.torn_tail = true;  // crash mid-append; never admitted
+      break;
+    }
+    replay.lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return replay;
+}
+
+}  // namespace sharedres::service

@@ -1,0 +1,69 @@
+// Crash-safe request journal for the persistent scheduling service.
+//
+// An append-only NDJSON file of ADMITTED request lines, written before the
+// request enters the worker queue: after a crash or kill -9, a restarted
+// service can replay the journal and reproduce byte-identical responses for
+// the already-admitted prefix (the solve pipeline is deterministic, so the
+// journal is the only state worth persisting). Shed and drain-rejected
+// requests are deliberately NOT journaled — they were never admitted, and
+// their immediate typed responses carry no state.
+//
+// Torn-tail contract: each append is a single write(2) of "line\n", so a
+// crash can leave at most one unterminated final line. read_admitted()
+// returns only '\n'-terminated lines; a torn tail is reported, not
+// replayed — the client never got an admission for it. (A torn line also
+// cannot silently merge with a later append: the service only appends
+// through this class, which always starts a fresh line.)
+//
+// Failure contract: every method throws typed util::Error (kIo) — an
+// unwritable journal must fail the ADMISSION (the caller turns it into a
+// typed per-request error response), never crash the daemon or silently
+// accept a request that would be lost on restart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharedres::service {
+
+class Journal {
+ public:
+  /// Open `path` for appending, creating it if missing. With `fsync_each`,
+  /// every append is followed by fsync(2) — admitted-means-durable even
+  /// across power loss, at a per-request cost. Throws util::Error (kIo).
+  Journal(const std::string& path, bool fsync_each);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one request line (the raw NDJSON text, no trailing newline —
+  /// append adds it) as a single write. Throws util::Error (kIo) on any
+  /// short or failed write; the fail point "service.journal_append" injects
+  /// exactly that. After a failed write the journal stays usable: the next
+  /// append starts a fresh line (see lseek note in journal.cpp).
+  void append(const std::string& line);
+
+  /// Lines appended successfully since this object was opened.
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Result of reading a journal file back.
+  struct Replay {
+    std::vector<std::string> lines;  ///< '\n'-terminated lines, in order
+    bool torn_tail = false;          ///< file ended mid-line (crash artifact)
+  };
+
+  /// Read the admitted lines of an existing journal. A missing file is an
+  /// empty replay (first boot); an unreadable one throws util::Error (kIo).
+  [[nodiscard]] static Replay read_admitted(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_each_ = false;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace sharedres::service

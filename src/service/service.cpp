@@ -1,0 +1,188 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "batch/stream.hpp"
+#include "obs/json_export.hpp"
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace sharedres::service {
+
+namespace {
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options) : options_(options) {
+  work_options_.algorithm = options_.algorithm;
+  work_options_.emit_schedules = options_.emit_schedules;
+  work_options_.default_deadline_steps = options_.default_deadline_steps;
+  work_options_.deadline_ms = options_.deadline_ms;
+  if (!options_.journal_path.empty()) {
+    journal_.emplace(options_.journal_path, options_.journal_fsync);
+  }
+  pool_.emplace(options_.threads, options_.queue_capacity);
+  for (std::size_t w = 0; w < pool_->threads(); ++w) scratch_.emplace_back();
+}
+
+Service::~Service() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {
+      // Destructor swallows; callers that care call finish().
+    }
+  }
+}
+
+std::shared_ptr<Service::Client> Service::open_client(WriteLine write) {
+  // Wrap the raw sink: count successful writes for the summary, and let the
+  // "service.emit" fail point simulate a client whose connection dies on
+  // write — the emitter latches failed() and the server carries on.
+  auto wrapped = [this, sink = std::move(write)](const std::string& line) {
+    try {
+      SHAREDRES_FAILPOINT("service.emit");
+    } catch (const util::Error&) {
+      return false;  // injected: client write failure
+    }
+    if (!sink(line)) return false;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+  return std::make_shared<Client>(std::move(wrapped));
+}
+
+void Service::reject(const std::shared_ptr<Client>& client, std::size_t index,
+                     const std::string& code, const std::string& message) {
+  // Rejections reuse the batch error-line shape so one client-side parser
+  // handles every response. No id salvage: rejection must stay O(1) — the
+  // whole point is not spending work on the request.
+  batch::ResultRecord rec;
+  rec.index = index;
+  rec.ok = false;
+  rec.error_code = code;
+  rec.error_message = message;
+  client->emitter.emit(index, batch::format_result_record(rec));
+}
+
+void Service::submit(const std::shared_ptr<Client>& client,
+                     const std::string& line) {
+  if (finished_) throw std::logic_error("Service::submit after finish");
+  if (blank(line)) return;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t index = client->next_index++;
+  if (draining_.load(std::memory_order_relaxed)) {
+    drain_rejected_.fetch_add(1, std::memory_order_relaxed);
+    reject(client, index, "shed", "shed: service is draining");
+    return;
+  }
+  if (options_.shed_high_water != 0 &&
+      pool_->pending() >= options_.shed_high_water) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    SHAREDRES_OBS_COUNT_V("service.shed");
+    reject(client, index, "shed",
+           "shed: worker queue at high water (" +
+               std::to_string(options_.shed_high_water) + ")");
+    return;
+  }
+  try {
+    SHAREDRES_FAILPOINT("service.admit");
+    if (journal_) journal_->append(line);
+  } catch (const util::Error& e) {
+    // Not admitted: running un-journaled work would silently break the
+    // restart-replay contract, so the request fails with a typed line.
+    admit_errors_.fetch_add(1, std::memory_order_relaxed);
+    reject(client, index, util::to_string(e.code()), e.what());
+    return;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  enqueue(client, index, line);
+}
+
+std::size_t Service::replay(const std::shared_ptr<Client>& client,
+                            const std::vector<std::string>& lines) {
+  if (finished_) throw std::logic_error("Service::replay after finish");
+  std::size_t enqueued = 0;
+  for (const std::string& line : lines) {
+    if (blank(line)) continue;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    replayed_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t index = client->next_index++;
+    enqueue(client, index, line);
+    ++enqueued;
+  }
+  return enqueued;
+}
+
+void Service::enqueue(const std::shared_ptr<Client>& client, std::size_t index,
+                      std::string line) {
+  // Blocking submit: when shedding is off (or the race between the
+  // high-water check and here fills the queue) admission applies
+  // backpressure, exactly like the batch reader.
+  pool_->submit([this, client, index,
+                 record = std::move(line)](std::size_t w) {
+    client->emitter.emit(
+        index, batch::process_record(record, index, work_options_,
+                                     scratch_[w]));
+  });
+  SHAREDRES_OBS_GAUGE_SET_V("service.queue_depth",
+                            static_cast<std::int64_t>(pool_->pending()));
+}
+
+void Service::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+ServiceSummary Service::finish() {
+  if (!finished_) {
+    finished_ = true;
+    pool_->close();  // drain; rethrows the first worker logic_error, if any
+  }
+  ServiceSummary s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.replayed = replayed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.drain_rejected = drain_rejected_.load(std::memory_order_relaxed);
+  s.admit_errors = admit_errors_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.drained = true;
+
+  // Worker-order merge, same invariance argument as run_batch: commutative
+  // per-record sums are identical at every thread count.
+  obs::Registry merged(/*ring_capacity=*/1);
+  for (const batch::WorkerScratch& sc : scratch_) merged.merge_from(sc.metrics);
+  s.ok = merged.counter("batch.records_ok").value();
+  s.failed = merged.counter("batch.records_failed").value();
+  s.metrics = obs::deterministic_json(merged);
+  return s;
+}
+
+std::string Service::summary_line(const ServiceSummary& s) {
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("summary", true);
+  doc.emplace("service", true);
+  doc.emplace("requests", s.requests);
+  doc.emplace("admitted", s.admitted);
+  doc.emplace("replayed", s.replayed);
+  doc.emplace("shed", s.shed);
+  doc.emplace("drain_rejected", s.drain_rejected);
+  doc.emplace("admit_errors", s.admit_errors);
+  doc.emplace("ok", s.ok);
+  doc.emplace("failed", s.failed);
+  doc.emplace("responses", s.responses);
+  doc.emplace("drained", s.drained);
+  doc.emplace("metrics", s.metrics);
+  return doc.dump();
+}
+
+}  // namespace sharedres::service

@@ -1,0 +1,204 @@
+#include "service/socket_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/error.hpp"
+
+namespace sharedres::service {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Owns a connection fd. Shared by the reader thread and the client's write
+/// sink, so the fd closes only after the LAST in-flight response for this
+/// connection has been emitted (or dropped) — never while a worker might
+/// still write, which would race a kernel fd-number reuse.
+struct FdOwner {
+  explicit FdOwner(int conn_fd) : fd(conn_fd) {}
+  ~FdOwner() {
+    if (fd >= 0) ::close(fd);
+  }
+  FdOwner(const FdOwner&) = delete;
+  FdOwner& operator=(const FdOwner&) = delete;
+
+  /// Write all of line + '\n'; false once the peer is gone (EPIPE, reset).
+  bool write_line(const std::string& line) {
+    std::string buf = line;
+    buf.push_back('\n');
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      // MSG_NOSIGNAL: belt-and-braces with the serve command's SIG_IGN —
+      // a dead peer must surface as a return value, not SIGPIPE.
+      const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd;
+};
+
+}  // namespace
+
+struct SocketServer::Impl {
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+  std::atomic<bool> stopping{false};
+
+  std::mutex mutex;
+  /// Weak: must not prolong a connection fd's life, but a raw fd could be
+  /// closed (all client refs dropped) and the number reused before stop()
+  /// shuts it down — the weak_ptr makes that window observable instead.
+  std::vector<std::weak_ptr<FdOwner>> conns;
+  std::vector<std::thread> readers;  // joined at the end of run()
+};
+
+SocketServer::SocketServer(Service& service, std::string path,
+                           std::size_t max_connections)
+    : service_(service),
+      path_(std::move(path)),
+      max_connections_(max_connections == 0 ? 1 : max_connections),
+      impl_(new Impl) {
+  std::unique_ptr<Impl> guard(impl_);
+  if (path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw util::Error::io("serve: socket path too long: '" + path_ + "'");
+  }
+  // Replace a stale socket file (a previous daemon that died without
+  // cleanup); refuse to clobber anything that is not a socket.
+  struct stat st{};
+  if (::lstat(path_.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw util::Error::io("serve: '" + path_ +
+                            "' exists and is not a socket");
+    }
+    if (::unlink(path_.c_str()) != 0) {
+      throw util::Error::io("serve: cannot remove stale socket '" + path_ +
+                            "': " + errno_text());
+    }
+  }
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (impl_->listen_fd < 0) {
+    throw util::Error::io("serve: socket(): " + errno_text());
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw util::Error::io("serve: bind('" + path_ + "'): " + errno_text());
+  }
+  if (::listen(impl_->listen_fd, 64) != 0) {
+    throw util::Error::io("serve: listen('" + path_ + "'): " + errno_text());
+  }
+  if (::pipe(impl_->wake_pipe) != 0) {
+    throw util::Error::io("serve: pipe(): " + errno_text());
+  }
+  guard.release();
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  // run() joins readers; if run() was never reached, there are none.
+  for (std::thread& t : impl_->readers) {
+    if (t.joinable()) t.join();
+  }
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->wake_pipe[0] >= 0) ::close(impl_->wake_pipe[0]);
+  if (impl_->wake_pipe[1] >= 0) ::close(impl_->wake_pipe[1]);
+  ::unlink(path_.c_str());
+  delete impl_;
+}
+
+void SocketServer::stop() {
+  if (impl_->stopping.exchange(true)) return;
+  const char byte = 0;
+  // Best effort: if the pipe is somehow gone, run() has already exited.
+  (void)!::write(impl_->wake_pipe[1], &byte, 1);
+}
+
+void SocketServer::run() {
+  while (!impl_->stopping.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{impl_->listen_fd, POLLIN, 0},
+                     {impl_->wake_pipe[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->readers.size() >= max_connections_) {
+      // Connection-level shedding: past the cap the peer gets an immediate
+      // EOF instead of a hung connect. (Reader slots are not reaped until
+      // run() ends; the cap bounds threads for the daemon's lifetime
+      // between drains, which is what the soak harness needs.)
+      ::close(conn);
+      continue;
+    }
+    auto owner = std::make_shared<FdOwner>(conn);
+    impl_->conns.push_back(owner);
+    impl_->readers.emplace_back([this, conn, owner] {
+      auto client = service_.open_client(
+          [owner](const std::string& line) { return owner->write_line(line); });
+      std::string buf;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;  // EOF, error, or shutdown(SHUT_RD) from stop()
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+             nl = buf.find('\n', start)) {
+          service_.submit(client, buf.substr(start, nl - start));
+          start = nl + 1;
+        }
+        buf.erase(0, start);
+      }
+      // A final unterminated line is still a request: the peer may close
+      // its write side without a trailing newline.
+      if (!buf.empty()) service_.submit(client, buf);
+      // The fd stays open via `owner` until this client's last in-flight
+      // response drains; dropping our refs here is what eventually closes
+      // it.
+    });
+  }
+  // Drain: no new connections, wake blocked readers, join them. Responses
+  // for everything already submitted still flow (Service::finish).
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const std::weak_ptr<FdOwner>& weak : impl_->conns) {
+      if (const std::shared_ptr<FdOwner> owner = weak.lock()) {
+        ::shutdown(owner->fd, SHUT_RD);
+      }
+    }
+  }
+  for (std::thread& t : impl_->readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace sharedres::service

@@ -1,0 +1,61 @@
+// Unix-domain-socket front end for the scheduling service.
+//
+// One listening SOCK_STREAM socket; each accepted connection gets a reader
+// thread and a Service client: NDJSON request lines in, the client's
+// response lines out, in that connection's arrival order (per-connection
+// indices — two connections each see exactly the lines and indices a
+// standalone stdio run of their own sub-stream would produce).
+//
+// Lifecycle: run() accepts until stop() is called (the CLI's signal watcher
+// calls it on SIGTERM/SIGINT) and then begins the drain: the listening
+// socket closes (no new connections), every open connection's read side is
+// shut down (readers wake, submit nothing further), reader threads join,
+// and run() returns. In-flight responses are NOT cut off: each connection's
+// fd is owned by its client sink and closes only after the service has
+// drained that client's last response (Service::finish, which the CLI calls
+// after run() returns).
+//
+// Failure containment: a client that disconnects mid-stream only fails its
+// own sink — the emitter latches, its remaining lines are dropped, every
+// other connection is untouched, and the daemon keeps serving. SIGPIPE must
+// be ignored process-wide (the serve command does this) so a dead peer
+// surfaces as a write error, not process death.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sharedres::service {
+
+class Service;
+
+class SocketServer {
+ public:
+  /// Bind + listen on a unix socket at `path` (an existing stale socket
+  /// file is replaced; any other existing file is an error). Throws
+  /// util::Error (kIo) on any socket/bind/listen failure.
+  SocketServer(Service& service, std::string path,
+               std::size_t max_connections = 64);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept and serve until stop(); returns once every reader thread has
+  /// joined (in-flight solves may still be draining in the service).
+  void run();
+
+  /// Request shutdown; safe from any thread, idempotent. run() unblocks,
+  /// stops accepting, and shuts down open connections' read sides.
+  void stop();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  Service& service_;
+  std::string path_;
+  std::size_t max_connections_;
+  Impl* impl_;
+};
+
+}  // namespace sharedres::service

@@ -1,0 +1,75 @@
+#include "util/deadline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace sharedres::util::deadline {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The clock is process-global (scopes live on many threads); relaxed is
+// enough — installers run before the threads that read it.
+std::atomic<ClockFn> g_clock{nullptr};
+
+thread_local Scope* t_scope = nullptr;
+
+/// Clock reads are amortized: only every kClockStride-th step looks at the
+/// wall clock, so a deadline can overshoot by at most kClockStride steps.
+constexpr std::uint64_t kClockStride = 1024;
+
+}  // namespace
+
+void set_clock(ClockFn fn) { g_clock.store(fn, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  const ClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : steady_ns();
+}
+
+Scope::Scope(Limits limits) : limits_(limits) {
+  if (t_scope != nullptr) {
+    throw std::logic_error("deadline::Scope: a scope is already active on "
+                           "this thread");
+  }
+  t_scope = this;
+}
+
+Scope::~Scope() { t_scope = nullptr; }
+
+bool active() { return t_scope != nullptr; }
+
+void check(const char* site) {
+  Scope* scope = t_scope;
+  if (scope == nullptr) return;
+  const std::uint64_t step = ++scope->steps_;
+  // Injectable expiry for the soak harness: fires the same typed abort path
+  // as a real deadline without needing a budget tuned to the instance.
+  SHAREDRES_FAILPOINT("deadline.check");
+  if (scope->limits_.max_steps != 0 && step > scope->limits_.max_steps) {
+    scope->expired_ = true;
+    SHAREDRES_OBS_COUNT("deadline.step_budget_expired");
+    throw Error::deadline_exceeded(site, step);
+  }
+  if (scope->limits_.deadline_ns != 0 &&
+      (step % kClockStride == 0 || step == 1) &&
+      now_ns() >= scope->limits_.deadline_ns) {
+    scope->expired_ = true;
+    // Wall-clock expiry is scheduling-dependent, hence volatile.
+    SHAREDRES_OBS_COUNT_V("deadline.wall_clock_expired");
+    throw Error::deadline_exceeded(site, step);
+  }
+}
+
+}  // namespace sharedres::util::deadline

@@ -38,6 +38,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kOverflow: return "overflow";
     case ErrorCode::kInjectedFault: return "injected_fault";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShed: return "shed";
   }
   return "?";
 }
@@ -82,6 +84,17 @@ Error Error::injected(const std::string& site, unsigned long long hit) {
   return Error(ErrorCode::kInjectedFault, "injected fault at '" + site +
                                               "' (hit " + std::to_string(hit) +
                                               ")");
+}
+
+Error Error::deadline_exceeded(const std::string& site,
+                               unsigned long long steps) {
+  return Error(ErrorCode::kDeadlineExceeded,
+               "deadline exceeded at '" + site + "' after " +
+                   std::to_string(steps) + " steps");
+}
+
+Error Error::shed(const std::string& message) {
+  return Error(ErrorCode::kShed, "shed: " + message);
 }
 
 }  // namespace sharedres::util

@@ -27,6 +27,8 @@ enum class ErrorCode {
   kOverflow,         ///< checked 64-bit arithmetic overflowed
   kInjectedFault,    ///< thrown by an armed fail point (tests only)
   kInternal,         ///< broken internal invariant (a bug, not bad input)
+  kDeadlineExceeded, ///< a solve exhausted its step budget / wall deadline
+  kShed,             ///< request rejected by overload shedding or drain
 };
 
 /// Stable lower-snake name for an ErrorCode ("parse", "cli_usage", ...).
@@ -73,6 +75,12 @@ class Error : public std::runtime_error {
   /// "injected fault at '<site>' (hit N)".
   [[nodiscard]] static Error injected(const std::string& site,
                                       unsigned long long hit);
+  /// "deadline exceeded at '<site>' after N steps". `site` names the step
+  /// loop that observed expiry (the util::deadline check placement).
+  [[nodiscard]] static Error deadline_exceeded(const std::string& site,
+                                               unsigned long long steps);
+  /// "shed: <message>" — the service's overload/drain rejection.
+  [[nodiscard]] static Error shed(const std::string& message);
 
  private:
   ErrorCode code_;

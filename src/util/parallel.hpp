@@ -152,9 +152,25 @@ class WorkerPool {
   /// if the pool is already closed.
   void submit(std::function<void(std::size_t worker)> task);
 
+  /// Non-blocking submit: enqueue only if the queue currently holds fewer
+  /// than `high_water` pending tasks (0 = use the pool's capacity). Returns
+  /// false — leaving `task` untouched — when the queue is at or above the
+  /// mark, so a load-shedding caller can reject instead of stalling. Throws
+  /// std::logic_error if the pool is already closed.
+  [[nodiscard]] bool try_submit(std::function<void(std::size_t worker)>& task,
+                                std::size_t high_water = 0);
+
+  /// Tasks currently queued but not yet picked up by a worker. A snapshot —
+  /// stale by the time the caller acts on it — so only useful for gauges and
+  /// coarse admission decisions, never for synchronization.
+  [[nodiscard]] std::size_t pending() const;
+
   /// Drain the queue, join all workers, and rethrow the first task
   /// exception, if any. Idempotent.
   void close();
+
+  /// True once close() has begun (or completed). submit() after this throws.
+  [[nodiscard]] bool closed() const;
 
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
@@ -167,7 +183,7 @@ class WorkerPool {
   // from false-sharing with workers signalling not_full_ (the project
   // constant kCacheLineSize stands in for the std interference size, which
   // GCC's -Winterference-size forbids under -Werror).
-  alignas(kCacheLineSize) std::mutex mutex_;
+  alignas(kCacheLineSize) mutable std::mutex mutex_;
   alignas(kCacheLineSize) std::condition_variable not_full_;
   alignas(kCacheLineSize) std::condition_variable not_empty_;
   std::deque<std::function<void(std::size_t)>> queue_;

@@ -570,5 +570,159 @@ TEST(BatchCache, CacheLookupAgreesWithCanonicalizer) {
   EXPECT_EQ(summary_counter(out, "cache.misses"), 1.0);
 }
 
+// ---- output-failure containment (ordered emitter, dead sink) ---------------
+
+/// A streambuf that accepts `limit` characters and then reports failure on
+/// every overflow — the in-process stand-in for EPIPE / a full disk.
+class FailAfterBuf : public std::streambuf {
+ public:
+  explicit FailAfterBuf(std::size_t limit) : limit_(limit) {}
+  [[nodiscard]] const std::string& written() const { return written_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (written_.size() >= limit_) return traits_type::eof();
+    if (ch != traits_type::eof()) {
+      written_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::size_t limit_;
+  std::string written_;
+};
+
+TEST(BatchOutputFailure, DeadSinkRaisesTypedIoInsteadOfSilentTruncation) {
+  std::vector<std::string> lines;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    lines.push_back(format_instance_record(
+        workloads::uniform_instance(config(seed)), "r"));
+  }
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+
+  // Reference: how large is the healthy output?
+  BatchOptions options;
+  options.threads = 1;
+  const std::string healthy = run(lines, options).first;
+
+  // Sink dies after ~3 result lines. The pipeline must stop scheduling,
+  // drain, and throw a typed kIo — not return a quietly truncated batch.
+  std::istringstream in(input);
+  FailAfterBuf buf(healthy.size() / 6);
+  std::ostream out(&buf);
+  try {
+    (void)run_batch(in, out, options);
+    FAIL() << "expected util::Error(kIo) from the dead sink";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("output stream failed"),
+              std::string::npos);
+  }
+  // What WAS written is a clean prefix of the healthy run: whole lines only
+  // up to the failure point, never interleaved or reordered garbage.
+  const std::string& partial = buf.written();
+  EXPECT_EQ(healthy.compare(0, partial.size(), partial), 0)
+      << "partial output must be a byte prefix of the healthy output";
+}
+
+TEST(BatchOutputFailure, DeadSinkAtEveryThreadCountStaysTyped) {
+  std::vector<std::string> lines;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    lines.push_back(format_instance_record(
+        workloads::uniform_instance(config(seed)), ""));
+  }
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    BatchOptions options;
+    options.threads = threads;
+    std::istringstream in(input);
+    FailAfterBuf buf(64);
+    std::ostream out(&buf);
+    EXPECT_THROW((void)run_batch(in, out, options), util::Error)
+        << "threads=" << threads;
+  }
+}
+
+// ---- per-record deadlines ---------------------------------------------------
+
+TEST(BatchDeadline, RecordFieldCapsStepsAndYieldsTypedErrorLine) {
+  const std::string big = format_instance_record(
+      workloads::uniform_instance(config(3, /*jobs=*/200)), "slow");
+  // A 1-step budget cannot finish a 200-job instance.
+  util::Json doc = util::Json::parse(big);
+  doc.emplace("deadline_steps", 1);
+  const std::string capped = doc.dump();
+
+  BatchOptions options;
+  options.threads = 1;
+  const auto [text, summary] = run({capped}, options);
+  EXPECT_EQ(summary.failed, 1u);
+  const std::vector<std::string> out = output_lines(text);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0].find("\"deadline_exceeded\""), std::string::npos);
+  EXPECT_NE(out[0].find("\"id\":\"slow\""), std::string::npos)
+      << "the caller's label must survive a deadline abort";
+  EXPECT_NE(text.find("\"batch.deadline_exceeded\":1"), std::string::npos);
+}
+
+TEST(BatchDeadline, DefaultBudgetAppliesOnlyToRecordsWithoutTheirOwn) {
+  const std::string small = format_instance_record(
+      workloads::uniform_instance(config(1, /*jobs=*/6)), "small");
+  util::Json generous = util::Json::parse(small);
+  generous.emplace("deadline_steps", 1'000'000);
+  BatchOptions options;
+  options.threads = 1;
+  options.default_deadline_steps = 1;  // absurdly tight default
+  const auto [text, summary] = run({small, generous.dump()}, options);
+  EXPECT_EQ(summary.failed, 1u) << "only the defaulted record may expire";
+  EXPECT_EQ(summary.ok, 1u);
+  const std::vector<std::string> out = output_lines(text);
+  EXPECT_NE(out[0].find("deadline_exceeded"), std::string::npos);
+  EXPECT_NE(out[1].find("\"ok\":true"), std::string::npos);
+}
+
+TEST(BatchDeadline, ScratchSurvivesAnAbortedSolve) {
+  // Record 1 aborts mid-run; record 2 (same worker, same scratch) must still
+  // produce output byte-identical to a fresh single-record run — the
+  // engines' strong guarantee + reset() rebind contract.
+  const std::string doomed_line = format_instance_record(
+      workloads::uniform_instance(config(5, /*jobs=*/150)), "doomed");
+  util::Json doomed = util::Json::parse(doomed_line);
+  doomed.emplace("deadline_steps", 2);
+  const std::string healthy = format_instance_record(
+      workloads::uniform_instance(config(6, /*jobs=*/20)), "after");
+
+  BatchOptions options;
+  options.threads = 1;
+  options.emit_schedules = true;
+  const std::string paired = run({doomed.dump(), healthy}, options).first;
+  const std::string alone = run({healthy}, options).first;
+  // The healthy record's line (index differs, so compare from the id on).
+  const std::string paired_line = output_lines(paired).at(1);
+  const std::string alone_line = output_lines(alone).at(0);
+  EXPECT_EQ(paired_line.substr(paired_line.find("\"id\"")),
+            alone_line.substr(alone_line.find("\"id\"")));
+}
+
+TEST(BatchDeadline, NegativeAndMalformedDeadlineFieldsAreTypedErrors) {
+  const std::string base = format_instance_record(
+      workloads::uniform_instance(config(2)), "x");
+  util::Json neg = util::Json::parse(base);
+  neg.emplace("deadline_steps", -3);
+  util::Json frac = util::Json::parse(base);
+  frac.emplace("deadline_steps", 1.5);
+  for (const std::string& line : {neg.dump(), frac.dump()}) {
+    try {
+      (void)parse_instance_record(line);
+      FAIL() << "accepted: " << line;
+    } catch (const util::Error& e) {
+      EXPECT_EQ(e.code(), util::ErrorCode::kParse) << line;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sharedres::batch

@@ -151,6 +151,98 @@ TEST(Failpoint, UnarmedSitesAreFreeAndCounted) {
       << "untracked sites must not allocate counters on the fast path";
 }
 
+TEST(Failpoint, EveryNFiresOnEveryNthHitAndStaysArmed) {
+  SKIP_WITHOUT_FAILPOINTS();
+  FailpointGuard guard;
+  fp::reset();
+  fp::arm_every("rec.site", 3);
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 12; ++i) {
+    try {
+      fp::hit("rec.site");
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInjectedFault);
+      fired_at.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(fp::fire_count("rec.site"), 4u);
+  EXPECT_EQ(fp::armed_sites().size(), 1u) << "every:N must stay armed";
+}
+
+TEST(Failpoint, EveryOneFiresOnEveryHit) {
+  SKIP_WITHOUT_FAILPOINTS();
+  FailpointGuard guard;
+  fp::reset();
+  fp::arm_every("rec.site", 1);
+  for (int i = 0; i < 5; ++i) EXPECT_THROW(fp::hit("rec.site"), Error);
+  EXPECT_EQ(fp::fire_count("rec.site"), 5u);
+}
+
+TEST(Failpoint, ProbFirePatternIsAPureFunctionOfSeed) {
+  SKIP_WITHOUT_FAILPOINTS();
+  FailpointGuard guard;
+  fp::reset();
+  const auto pattern = [](double p, std::uint64_t seed) {
+    fp::arm_prob("prob.site", p, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        fp::hit("prob.site");
+        fired.push_back(false);
+      } catch (const Error&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const auto a = pattern(0.25, 42);
+  const auto b = pattern(0.25, 42);
+  EXPECT_EQ(a, b) << "same (p, seed) must reproduce the same fire pattern";
+  const auto c = pattern(0.25, 43);
+  EXPECT_NE(a, c) << "a different seed should move the pattern";
+  const std::size_t fires =
+      static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20u);  // ~50 expected at p = 0.25 over 200 hits
+  EXPECT_LT(fires, 90u);
+  // Boundary probabilities degenerate deterministically.
+  fp::arm_prob("prob.site", 0.0, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_NO_THROW(fp::hit("prob.site"));
+  fp::arm_prob("prob.site", 1.0, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_THROW(fp::hit("prob.site"), Error);
+}
+
+TEST(Failpoint, CatalogListsKnownSitesAndArmedModes) {
+  SKIP_WITHOUT_FAILPOINTS();
+  FailpointGuard guard;
+  fp::reset();
+  fp::arm_every("sos_engine.step", 10);
+  fp::arm_prob("unit_engine.step", 0.5, 7);
+  const auto rows = fp::catalog();
+  // The static site catalog is present even when unarmed.
+  const auto find = [&rows](const std::string& site) {
+    for (const auto& r : rows) {
+      if (r.site == site) return r;
+    }
+    return fp::SiteInfo{};
+  };
+  for (const char* site :
+       {"deadline.check", "io.next_line", "pool.task", "service.admit",
+        "service.emit", "service.journal_append", "sos_engine.step",
+        "unit_engine.step"}) {
+    EXPECT_FALSE(find(site).site.empty()) << site << " missing from catalog";
+  }
+  EXPECT_TRUE(find("sos_engine.step").armed);
+  EXPECT_EQ(find("sos_engine.step").mode, "every:10");
+  EXPECT_TRUE(find("unit_engine.step").armed);
+  EXPECT_EQ(find("unit_engine.step").mode.rfind("prob:", 0), 0u);
+  EXPECT_FALSE(find("pool.task").armed);
+  // Sorted by site name (the CLI prints it verbatim).
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].site, rows[i].site);
+  }
+}
+
 // ------------------------------------------- engine strong exception safety
 
 Instance mixed_instance() {

@@ -8,6 +8,7 @@
 
 #include "util/checked.hpp"
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/prng.hpp"
 #include "util/rational.hpp"
@@ -286,6 +287,81 @@ TEST(Cli, RejectsTrailingGarbageAndOverflow) {
     EXPECT_NE(std::string(e.what()).find("64-bit"), std::string::npos);
   }
   EXPECT_THROW((void)cli.get_double("d", 0.0), Error);
+}
+
+// ---- deadline: cooperative step budgets and wall-clock expiry -------------
+
+TEST(Deadline, InactiveWithoutScopeAndChecksAreFree) {
+  EXPECT_FALSE(deadline::active());
+  // No scope: check() must be a no-op, not a throw.
+  for (int i = 0; i < 1000; ++i) deadline::check("test.loop");
+}
+
+TEST(Deadline, StepBudgetExpiresAtExactlyTheBudget) {
+  deadline::Scope scope({.max_steps = 5, .deadline_ns = 0});
+  EXPECT_TRUE(deadline::active());
+  for (int i = 0; i < 5; ++i) deadline::check("test.loop");
+  EXPECT_EQ(scope.steps(), 5u);
+  EXPECT_FALSE(scope.expired());
+  try {
+    deadline::check("test.loop");
+    FAIL() << "expected deadline_exceeded on step 6";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("test.loop"), std::string::npos);
+  }
+  EXPECT_TRUE(scope.expired());
+}
+
+TEST(Deadline, ScopeEndsWithItsBlock) {
+  {
+    deadline::Scope scope({.max_steps = 1, .deadline_ns = 0});
+    deadline::check("test.loop");
+  }
+  EXPECT_FALSE(deadline::active());
+  deadline::check("test.loop");  // the expired scope is gone
+}
+
+TEST(Deadline, NestingIsALogicError) {
+  deadline::Scope outer({.max_steps = 10, .deadline_ns = 0});
+  EXPECT_THROW(deadline::Scope inner({.max_steps = 1, .deadline_ns = 0}),
+               std::logic_error);
+  // The outer scope must survive the rejected nesting attempt.
+  EXPECT_TRUE(deadline::active());
+  deadline::check("test.loop");
+  EXPECT_EQ(outer.steps(), 1u);
+}
+
+namespace {
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns; }
+}  // namespace
+
+TEST(Deadline, WallClockExpiryThroughInjectedClock) {
+  deadline::set_clock(&fake_clock);
+  g_fake_now_ns = 1'000;
+  {
+    deadline::Scope scope({.max_steps = 0, .deadline_ns = 2'000});
+    // The clock is only consulted every 1024 steps (amortization), so run
+    // past one stride with time still inside the deadline...
+    for (int i = 0; i < 1500; ++i) deadline::check("test.loop");
+    // ...then advance time past the cutoff: the next stride boundary throws.
+    g_fake_now_ns = 3'000;
+    try {
+      for (int i = 0; i < 2048; ++i) deadline::check("test.loop");
+      FAIL() << "expected wall-clock expiry";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+    }
+  }
+  deadline::set_clock(nullptr);  // restore steady_clock for later tests
+}
+
+TEST(Deadline, ZeroLimitsMeanUnlimited) {
+  deadline::Scope scope({.max_steps = 0, .deadline_ns = 0});
+  for (int i = 0; i < 5000; ++i) deadline::check("test.loop");
+  EXPECT_EQ(scope.steps(), 5000u);
+  EXPECT_FALSE(scope.expired());
 }
 
 }  // namespace

@@ -30,12 +30,18 @@
 //   2  usage error (unknown command, bad flag value, missing required flag)
 //   3  input error (unreadable file, parse error, semantically invalid
 //      instance, arithmetic overflow caused by input magnitudes)
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sstream>
@@ -52,11 +58,15 @@
 #include "sas/sas_bounds.hpp"
 #include "sas/sas_scheduler.hpp"
 #include "sas/weighted.hpp"
+#include "service/journal.hpp"
+#include "service/service.hpp"
+#include "service/socket_server.hpp"
 #include "sim/analysis.hpp"
 #include "sim/svg.hpp"
 #include "sim/assignment.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "workloads/sos_generators.hpp"
 
@@ -72,7 +82,8 @@ constexpr int kExitInput = 3;
 
 int usage() {
   std::cerr
-      << "usage: sharedres_cli <gen|solve|validate|bounds|pack|sas|batch> "
+      << "usage: sharedres_cli "
+         "<gen|solve|validate|bounds|pack|sas|batch|serve|failpoints> "
          "[--flags]\n"
          "  gen      --family=... --machines=M --jobs=N [--count=K "
          "--format=ndjson] [--out=f]\n"
@@ -86,7 +97,12 @@ int usage() {
          "  sas      --instance=<sas file> [--weights=w1,w2,...]\n"
          "  batch    --in=stream.ndjson|- | --dir=d [--algorithm=...] "
          "[--threads=N] [--queue=N] [--emit-schedules] [--cache[=N]] "
-         "[--out=f]\n"
+         "[--deadline-steps=N] [--deadline-ms=N] [--out=f]\n"
+         "  serve    [--socket=path] [--algorithm=...] [--threads=N] "
+         "[--queue=N] [--shed-high-water=N] [--deadline-steps=N] "
+         "[--deadline-ms=N] [--journal=path [--journal-fsync] [--replay]] "
+         "[--emit-schedules] [--max-connections=N]\n"
+         "  failpoints --list\n"
          "global: --metrics-json=<file> dumps the observability registry\n"
          "        (src/obs) after any command, successful or not\n"
          "exit codes: 0 ok | 1 infeasible | 2 usage | 3 input error\n";
@@ -211,6 +227,14 @@ int cmd_batch(const util::Cli& cli) {
   options.threads = static_cast<std::size_t>(threads);
   options.queue_capacity = static_cast<std::size_t>(queue);
   options.emit_schedules = cli.has("emit-schedules");
+  const std::int64_t deadline_steps = cli.get_int("deadline-steps", 0);
+  const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+  if (deadline_steps < 0 || deadline_ms < 0) {
+    std::cerr << "batch: --deadline-steps and --deadline-ms must be >= 0\n";
+    return kExitUsage;
+  }
+  options.default_deadline_steps = static_cast<std::uint64_t>(deadline_steps);
+  options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
   if (cli.has("cache")) {
     // Bare --cache (stored as "true") selects the default capacity;
     // --cache=N pins it. --cache=0 is explicit off.
@@ -257,6 +281,201 @@ int cmd_batch(const util::Cli& cli) {
               << " ok, " << summary.failed << " failed\n";
   }
   return summary.failed == 0 ? kExitOk : kExitInfeasible;
+}
+
+// ---- serve ----------------------------------------------------------------
+//
+// The persistent scheduling service (src/service, DESIGN.md §13). Stdio mode
+// reads request lines from stdin and answers on stdout; --socket=PATH serves
+// a unix domain socket instead. SIGTERM/SIGINT trigger a graceful drain:
+// stop accepting, finish every admitted request, write the summary line,
+// exit 0.
+//
+// Signal handlers may only touch async-signal-safe state, so they write one
+// byte into this self-pipe; the serve loops poll it alongside their input.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void serve_signal_handler(int) {
+  const char byte = 0;
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+// True once a drain signal has arrived (consumes the pipe byte).
+bool signal_seen() {
+  pollfd p{g_signal_pipe[0], POLLIN, 0};
+  if (::poll(&p, 1, 0) <= 0) return false;
+  char byte;
+  (void)!::read(g_signal_pipe[0], &byte, 1);
+  return true;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  service::ServiceOptions options;
+  options.algorithm = cli.get("algorithm", "window");
+  if (options.algorithm != "window" && options.algorithm != "unit" &&
+      options.algorithm != "gg" && options.algorithm != "equalsplit" &&
+      options.algorithm != "sequential") {
+    std::cerr << "serve: unknown --algorithm=" << options.algorithm << "\n";
+    return kExitUsage;
+  }
+  const std::int64_t threads = cli.get_int(
+      "threads", static_cast<std::int64_t>(util::default_threads()));
+  const std::int64_t queue = cli.get_int("queue", 64);
+  const std::int64_t shed = cli.get_int("shed-high-water", 0);
+  const std::int64_t deadline_steps = cli.get_int("deadline-steps", 0);
+  const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+  const std::int64_t max_conns = cli.get_int("max-connections", 64);
+  if (threads < 1 || queue < 1) {
+    std::cerr << "serve: --threads and --queue must be >= 1\n";
+    return kExitUsage;
+  }
+  if (shed < 0 || deadline_steps < 0 || deadline_ms < 0 || max_conns < 1) {
+    std::cerr << "serve: --shed-high-water/--deadline-steps/--deadline-ms "
+                 "must be >= 0, --max-connections >= 1\n";
+    return kExitUsage;
+  }
+  options.threads = static_cast<std::size_t>(threads);
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  options.shed_high_water = static_cast<std::size_t>(shed);
+  options.default_deadline_steps =
+      static_cast<std::uint64_t>(deadline_steps);
+  options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+  options.emit_schedules = cli.has("emit-schedules");
+  options.journal_path = cli.get("journal", "");
+  options.journal_fsync = cli.has("journal-fsync");
+  const bool replay = cli.has("replay");
+  const std::string socket_path = cli.get("socket", "");
+  if (replay && options.journal_path.empty()) {
+    std::cerr << "serve: --replay requires --journal=<path>\n";
+    return kExitUsage;
+  }
+
+  // A client that disappears must surface as a write error on its own
+  // connection, never as process death.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (::pipe(g_signal_pipe) != 0) {
+    throw util::Error::io("serve: cannot create signal pipe");
+  }
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // Read the journal BEFORE the service reopens it for appending: replayed
+  // lines must not be re-journaled (Service::replay never appends, but the
+  // admitted set has to be snapshotted from the previous life).
+  service::Journal::Replay journaled;
+  if (replay) {
+    journaled = service::Journal::read_admitted(options.journal_path);
+    if (journaled.torn_tail) {
+      std::cerr << "serve: journal has a torn final line (crash artifact); "
+                   "ignoring it\n";
+    }
+  }
+
+  service::Service service(options);  // throws kIo -> exit 3 via main
+
+  if (!socket_path.empty()) {
+    service::SocketServer server(service, socket_path,
+                                 static_cast<std::size_t>(max_conns));
+    // Replay answers on stdout: the restarted daemon's operator sees the
+    // reproduced prefix even though the original connections are gone.
+    if (!journaled.lines.empty()) {
+      auto replay_client = service.open_client([](const std::string& line) {
+        std::cout << line << '\n';
+        std::cout.flush();
+        return static_cast<bool>(std::cout);
+      });
+      service.replay(replay_client, journaled.lines);
+    }
+    std::cerr << "serve: listening on " << socket_path << "\n";
+    // Watcher: turn the (async-signal-safe) pipe byte into a drain. run()
+    // returns only after stop(), so the watcher is also what ends serving.
+    std::thread watcher([&] {
+      pollfd p{g_signal_pipe[0], POLLIN, 0};
+      while (::poll(&p, 1, -1) < 0 && errno == EINTR) {
+      }
+      service.begin_drain();
+      server.stop();
+    });
+    server.run();
+    server.stop();  // idempotent; covers a run() exit not caused by stop()
+    serve_signal_handler(0);  // unblock the watcher if no signal ever came
+    watcher.join();
+    const service::ServiceSummary summary = service.finish();
+    std::cout << service::Service::summary_line(summary) << "\n";
+    return kExitOk;
+  }
+
+  // Stdio mode: one client, stdin lines in, stdout lines out. Reading goes
+  // through poll + read(2) so a drain signal wakes the loop immediately
+  // instead of racing C++ stream internals.
+  auto client = service.open_client([](const std::string& line) {
+    std::cout << line << '\n';
+    std::cout.flush();  // kill-mid-stream must leave a valid prefix
+    return static_cast<bool>(std::cout);
+  });
+  if (!journaled.lines.empty()) service.replay(client, journaled.lines);
+
+  std::string buf;
+  char chunk[4096];
+  bool eof = false;
+  while (!eof && !service.draining()) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) {
+      service.begin_drain();  // stop accepting; unread stdin is abandoned
+      break;
+    }
+    if (fds[0].revents == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      eof = true;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      service.submit(client, buf.substr(start, nl - start));
+      start = nl + 1;
+      if (signal_seen()) {
+        service.begin_drain();
+        break;
+      }
+    }
+    buf.erase(0, start);
+  }
+  if (eof && !buf.empty()) service.submit(client, buf);
+
+  const service::ServiceSummary summary = service.finish();
+  std::cout << service::Service::summary_line(summary) << "\n";
+  std::cout.flush();
+  return kExitOk;
+}
+
+// ---- failpoints -----------------------------------------------------------
+
+int cmd_failpoints(const util::Cli& cli) {
+  (void)cli;  // --list is the only (default) action
+  if (!util::failpoint::compiled_in()) {
+    std::cout << "failpoints: compiled out "
+                 "(configure with -DSHAREDRES_FAILPOINTS=ON)\n";
+    return kExitOk;
+  }
+  std::cout << "# site mode hits fires  (armed via SHAREDRES_FAILPOINTS="
+               "site=throw[@k|@every:N|@prob:P[,seed:S]];...)\n";
+  for (const util::failpoint::SiteInfo& info : util::failpoint::catalog()) {
+    std::cout << info.site << ' ' << (info.armed ? info.mode : "unarmed")
+              << ' ' << info.hits << ' ' << info.fires << '\n';
+  }
+  return kExitOk;
 }
 
 int cmd_solve(const util::Cli& cli) {
@@ -547,6 +766,8 @@ int main(int argc, char** argv) {
     if (command == "pack") rc = cmd_pack(cli);
     if (command == "sas") rc = cmd_sas(cli);
     if (command == "batch") rc = cmd_batch(cli);
+    if (command == "serve") rc = cmd_serve(cli);
+    if (command == "failpoints") rc = cmd_failpoints(cli);
     if (rc >= 0) {
       maybe_save_metrics(cli);
       return rc;
