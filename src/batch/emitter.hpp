@@ -16,6 +16,14 @@
 // client connection. emit() itself never throws: it is called from worker
 // threads whose pool would otherwise abort the whole batch over one broken
 // consumer.
+//
+// Sink contract: emit() invokes the sink while holding the emitter mutex
+// (writes must stay in index order), so the sink MUST be bounded-time — a
+// sink that can block indefinitely (an unbounded socket send to a peer
+// that stopped reading) would wedge the emitting worker and every later
+// emit for this client. The service's socket sink bounds each write with
+// a timeout and reports failure instead (socket_server.cpp); ostream
+// sinks are bounded by the file system.
 #pragma once
 
 #include <atomic>

@@ -63,25 +63,37 @@ Journal::~Journal() {
 }
 
 void Journal::append(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   SHAREDRES_FAILPOINT("service.journal_append");
+  if (broken_) {
+    throw util::Error::io("journal: '" + path_ +
+                          "' disabled: an earlier partial write could not "
+                          "be rolled back");
+  }
   std::string buf = line;
   buf.push_back('\n');
   // One write(2) for line + '\n': a crash between two writes could otherwise
-  // leave a terminated-but-unadmitted line that replay would trust.
+  // leave a terminated-but-unadmitted line that replay would trust. The
+  // mutex keeps concurrent appends (and the EINTR retry loop below) from
+  // interleaving fragments of two lines.
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
   std::size_t off = 0;
   while (off < buf.size()) {
     const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      // A partial line may be on disk now; it is unterminated, so replay
-      // drops it as a torn tail. The NEXT append would extend that torn
-      // fragment into a corrupt merged line, so terminate it first.
-      if (off > 0) {
-        const char nl = '\n';
-        (void)!::write(fd_, &nl, 1);
+      const std::string write_err = errno_text();
+      // A partial fragment may be on disk now. Left in place, the NEXT
+      // append (O_APPEND) would extend it into a corrupt merged line, and
+      // terminating it with '\n' would make replay trust a request that
+      // was REJECTED here — so truncate back to the pre-append size. If
+      // even that fails, poison the journal: admission must keep failing
+      // rather than ever corrupt the admitted set.
+      if (off > 0 && (start < 0 || ::ftruncate(fd_, start) != 0)) {
+        broken_ = true;
       }
       throw util::Error::io("journal: write to '" + path_ +
-                            "' failed: " + errno_text());
+                            "' failed: " + write_err);
     }
     off += static_cast<std::size_t>(n);
   }
@@ -89,7 +101,7 @@ void Journal::append(const std::string& line) {
     throw util::Error::io("journal: fsync of '" + path_ +
                           "' failed: " + errno_text());
   }
-  ++appended_;
+  appended_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Journal::Replay Journal::read_admitted(const std::string& path) {

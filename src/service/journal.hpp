@@ -8,12 +8,17 @@
 // requests are deliberately NOT journaled — they were never admitted, and
 // their immediate typed responses carry no state.
 //
-// Torn-tail contract: each append is a single write(2) of "line\n", so a
-// crash can leave at most one unterminated final line. read_admitted()
-// returns only '\n'-terminated lines; a torn tail is reported, not
-// replayed — the client never got an admission for it. (A torn line also
-// cannot silently merge with a later append: the service only appends
-// through this class, which always starts a fresh line.)
+// Torn-tail contract: appends are serialized by an internal mutex (socket
+// mode calls Service::submit from one reader thread per connection), and
+// each logical append lands as "line\n" at the end of the file — normally
+// a single write(2). A crash can leave at most one unterminated final
+// line; read_admitted() returns only '\n'-terminated lines, so a torn
+// tail is reported, not replayed — the client never got an admission for
+// it. A FAILED partial write is rolled back with ftruncate(2) before the
+// error propagates, so the file on disk only ever grows by whole lines
+// (if even the rollback fails, the journal latches broken and every later
+// append throws — admission keeps failing rather than corrupting the
+// admitted set).
 //
 // Failure contract: every method throws typed util::Error (kIo) — an
 // unwritable journal must fail the ADMISSION (the caller turns it into a
@@ -21,7 +26,9 @@
 // accept a request that would be lost on restart.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,14 +45,18 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   /// Append one request line (the raw NDJSON text, no trailing newline —
-  /// append adds it) as a single write. Throws util::Error (kIo) on any
-  /// short or failed write; the fail point "service.journal_append" injects
-  /// exactly that. After a failed write the journal stays usable: the next
-  /// append starts a fresh line (see lseek note in journal.cpp).
+  /// append adds it). Thread-safe: the whole append is serialized under an
+  /// internal mutex. Throws util::Error (kIo) on any failed write; the
+  /// fail point "service.journal_append" injects exactly that. A partial
+  /// write is truncated away before the throw, so the journal stays usable
+  /// and whole-lines-only; if the rollback itself fails, the journal is
+  /// poisoned and every later append throws (see journal.cpp).
   void append(const std::string& line);
 
   /// Lines appended successfully since this object was opened.
-  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+  [[nodiscard]] std::uint64_t appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -63,7 +74,15 @@ class Journal {
   std::string path_;
   int fd_ = -1;
   bool fsync_each_ = false;
-  std::uint64_t appended_ = 0;
+  /// Serializes append(): concurrent submitters (one reader thread per
+  /// socket connection) must not interleave write(2) fragments or race the
+  /// partial-write rollback.
+  std::mutex mutex_;
+  /// Set when a partial write could not be truncated away: the file may end
+  /// in a '\n'-less fragment that a further append would merge into a
+  /// corrupt line, so every later append refuses. Guarded by mutex_.
+  bool broken_ = false;
+  std::atomic<std::uint64_t> appended_{0};
 };
 
 }  // namespace sharedres::service

@@ -22,6 +22,12 @@ bool blank(const std::string& line) {
 }  // namespace
 
 Service::Service(const ServiceOptions& options) : options_(options) {
+  // A high-water mark above the queue capacity could never trigger (the
+  // queue cannot get that deep), turning shedding into silent backpressure
+  // — clamp so "shedding on" always means "shed instead of block".
+  if (options_.shed_high_water > options_.queue_capacity) {
+    options_.shed_high_water = options_.queue_capacity;
+  }
   work_options_.algorithm = options_.algorithm;
   work_options_.emit_schedules = options_.emit_schedules;
   work_options_.default_deadline_steps = options_.default_deadline_steps;
@@ -84,8 +90,20 @@ void Service::submit(const std::shared_ptr<Client>& client,
     reject(client, index, "shed", "shed: service is draining");
     return;
   }
+  // Admission critical section: the shed decision, the journal append, and
+  // the enqueue are one atomic step across clients (each connection submits
+  // from its own reader thread). Serializing them keeps the DESIGN.md §13
+  // invariants exact instead of racy: shed stays before journal (a shed
+  // request is never journaled), and the high-water check cannot go stale —
+  // no other producer can fill the queue between the check and submit(),
+  // and workers only drain it, so a request admitted below high water never
+  // blocks on backpressure. Rejection lines are emitted AFTER unlocking:
+  // a sink can be slow (bounded by the socket write timeout), and admission
+  // must not stall behind one client's dead connection.
+  std::unique_lock<std::mutex> admission(admission_mutex_);
   if (options_.shed_high_water != 0 &&
       pool_->pending() >= options_.shed_high_water) {
+    admission.unlock();
     shed_.fetch_add(1, std::memory_order_relaxed);
     SHAREDRES_OBS_COUNT_V("service.shed");
     reject(client, index, "shed",
@@ -99,6 +117,7 @@ void Service::submit(const std::shared_ptr<Client>& client,
   } catch (const util::Error& e) {
     // Not admitted: running un-journaled work would silently break the
     // restart-replay contract, so the request fails with a typed line.
+    admission.unlock();
     admit_errors_.fetch_add(1, std::memory_order_relaxed);
     reject(client, index, util::to_string(e.code()), e.what());
     return;
@@ -110,6 +129,10 @@ void Service::submit(const std::shared_ptr<Client>& client,
 std::size_t Service::replay(const std::shared_ptr<Client>& client,
                             const std::vector<std::string>& lines) {
   if (finished_) throw std::logic_error("Service::replay after finish");
+  // Replayed lines are already admitted and already on disk — no shedding,
+  // no re-journaling — but they still serialize with live submits so a
+  // replay interleaved with new connections cannot race the queue.
+  const std::lock_guard<std::mutex> admission(admission_mutex_);
   std::size_t enqueued = 0;
   for (const std::string& line : lines) {
     if (blank(line)) continue;
@@ -125,9 +148,12 @@ std::size_t Service::replay(const std::shared_ptr<Client>& client,
 
 void Service::enqueue(const std::shared_ptr<Client>& client, std::size_t index,
                       std::string line) {
-  // Blocking submit: when shedding is off (or the race between the
-  // high-water check and here fills the queue) admission applies
-  // backpressure, exactly like the batch reader.
+  // Caller holds admission_mutex_. Blocking submit: when shedding is off,
+  // admission applies backpressure exactly like the batch reader (later
+  // submitters then queue on the admission mutex instead of inside the
+  // pool — same observable behavior). With shedding on, the high-water
+  // check in submit() plus the serialization guarantee mean this call
+  // never actually blocks (high water is clamped to queue capacity).
   pool_->submit([this, client, index,
                  record = std::move(line)](std::size_t w) {
     client->emitter.emit(

@@ -43,6 +43,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,7 +66,7 @@ struct ServiceOptions {
   /// and shedding is off.
   std::size_t queue_capacity = 64;
   /// Queue depth at which submit() sheds instead of blocking. 0 disables
-  /// shedding. Clamped to queue_capacity by the pool.
+  /// shedding. Clamped to queue_capacity by the Service constructor.
   std::size_t shed_high_water = 0;
   bool emit_schedules = false;
   /// Defaults for records without their own "deadline_steps"; see
@@ -130,8 +131,13 @@ class Service {
 
   /// Admit or reject one request line (see file comment). Blank lines are
   /// skipped without a response, mirroring batch. Blocks only on queue
-  /// backpressure (and never when shedding is enabled and triggers). Fail
-  /// point "service.admit" injects an admission failure.
+  /// backpressure (and never when shedding is enabled: the shed check,
+  /// journal append, and enqueue run as one serialized admission step, so
+  /// a request that passes the high-water check cannot find the queue full
+  /// by the time it enqueues). Safe to call concurrently from multiple
+  /// reader threads — one call per client at a time (the per-connection
+  /// reader), any number of clients. Fail point "service.admit" injects an
+  /// admission failure.
   void submit(const std::shared_ptr<Client>& client, const std::string& line);
 
   /// Re-admit journaled lines (Journal::read_admitted) through `client`:
@@ -177,6 +183,11 @@ class Service {
   /// slots are emplaced (same reasoning as pipeline.cpp).
   std::deque<batch::WorkerScratch> scratch_;
   std::optional<util::WorkerPool> pool_;
+  /// Serializes admission (shed check → journal append → enqueue) across
+  /// clients: keeps the shed decision atomic with the enqueue, and the
+  /// journal exactly equal to the admitted prefix. Rejection emission and
+  /// the worker side never take it.
+  std::mutex admission_mutex_;
   std::atomic<bool> draining_{false};
   bool finished_ = false;
 

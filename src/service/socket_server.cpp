@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -23,6 +24,15 @@ namespace {
 
 std::string errno_text() { return std::strerror(errno); }
 
+/// Cap on how long one response write may wait for a slow peer. The sink
+/// runs under the client's emitter lock on a worker thread: a client that
+/// submits work and stops reading fills the socket buffer, and an unbounded
+/// send() there would wedge the worker (and, transitively, the shared pool)
+/// forever. On timeout the write fails, the client's emitter latches
+/// failed(), and that client's remaining lines are dropped — one slow
+/// client cannot deny service to the rest.
+constexpr int kWriteTimeoutMs = 10'000;
+
 /// Owns a connection fd. Shared by the reader thread and the client's write
 /// sink, so the fd closes only after the LAST in-flight response for this
 /// connection has been emitted (or dropped) — never while a worker might
@@ -35,21 +45,32 @@ struct FdOwner {
   FdOwner(const FdOwner&) = delete;
   FdOwner& operator=(const FdOwner&) = delete;
 
-  /// Write all of line + '\n'; false once the peer is gone (EPIPE, reset).
+  /// Write all of line + '\n'; false once the peer is gone (EPIPE, reset)
+  /// or has not drained its socket buffer within kWriteTimeoutMs.
   bool write_line(const std::string& line) {
     std::string buf = line;
     buf.push_back('\n');
     std::size_t off = 0;
     while (off < buf.size()) {
+      // MSG_DONTWAIT + poll bounds the wait without flipping the fd to
+      // non-blocking (the reader thread's recv stays blocking).
       // MSG_NOSIGNAL: belt-and-braces with the serve command's SIG_IGN —
       // a dead peer must surface as a return value, not SIGPIPE.
       const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
       }
-      off += static_cast<std::size_t>(n);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd p{fd, POLLOUT, 0};
+        const int rc = ::poll(&p, 1, kWriteTimeoutMs);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc <= 0) return false;  // timeout or poll error: drop the client
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
     }
     return true;
   }
@@ -64,12 +85,42 @@ struct SocketServer::Impl {
   int wake_pipe[2] = {-1, -1};
   std::atomic<bool> stopping{false};
 
+  /// One per live (or not-yet-reaped) connection: the reader thread plus a
+  /// done flag it sets as its last action, so the accept loop can join it.
+  struct Reader {
+    std::shared_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
+
   std::mutex mutex;
   /// Weak: must not prolong a connection fd's life, but a raw fd could be
   /// closed (all client refs dropped) and the number reused before stop()
   /// shuts it down — the weak_ptr makes that window observable instead.
   std::vector<std::weak_ptr<FdOwner>> conns;
-  std::vector<std::thread> readers;  // joined at the end of run()
+  std::vector<Reader> readers;  // swept on accept, joined at end of run()
+
+  /// Join and drop readers whose connection has ended (done flag set), and
+  /// prune expired connection refs. Called under `mutex` from the accept
+  /// loop, so max_connections caps CONCURRENT connections — not the total
+  /// over the daemon's lifetime.
+  void reap_locked() {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      if (readers[i].done->load(std::memory_order_acquire)) {
+        readers[i].thread.join();
+      } else {
+        if (kept != i) readers[kept] = std::move(readers[i]);
+        ++kept;
+      }
+    }
+    readers.resize(kept);
+    conns.erase(
+        std::remove_if(conns.begin(), conns.end(),
+                       [](const std::weak_ptr<FdOwner>& w) {
+                         return w.expired();
+                       }),
+        conns.end());
+  }
 };
 
 SocketServer::SocketServer(Service& service, std::string path,
@@ -118,8 +169,8 @@ SocketServer::SocketServer(Service& service, std::string path,
 SocketServer::~SocketServer() {
   stop();
   // run() joins readers; if run() was never reached, there are none.
-  for (std::thread& t : impl_->readers) {
-    if (t.joinable()) t.join();
+  for (Impl::Reader& r : impl_->readers) {
+    if (r.thread.joinable()) r.thread.join();
   }
   if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
   if (impl_->wake_pipe[0] >= 0) ::close(impl_->wake_pipe[0]);
@@ -150,17 +201,17 @@ void SocketServer::run() {
     if (conn < 0) continue;
 
     std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->reap_locked();  // finished connections free their slots here
     if (impl_->readers.size() >= max_connections_) {
-      // Connection-level shedding: past the cap the peer gets an immediate
-      // EOF instead of a hung connect. (Reader slots are not reaped until
-      // run() ends; the cap bounds threads for the daemon's lifetime
-      // between drains, which is what the soak harness needs.)
+      // Connection-level shedding: past the concurrent cap the peer gets
+      // an immediate EOF instead of a hung connect.
       ::close(conn);
       continue;
     }
     auto owner = std::make_shared<FdOwner>(conn);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     impl_->conns.push_back(owner);
-    impl_->readers.emplace_back([this, conn, owner] {
+    std::thread reader([this, conn, owner, done] {
       auto client = service_.open_client(
           [owner](const std::string& line) { return owner->write_line(line); });
       std::string buf;
@@ -183,8 +234,10 @@ void SocketServer::run() {
       if (!buf.empty()) service_.submit(client, buf);
       // The fd stays open via `owner` until this client's last in-flight
       // response drains; dropping our refs here is what eventually closes
-      // it.
+      // it. Last action: mark done so the accept loop can reap this slot.
+      done->store(true, std::memory_order_release);
     });
+    impl_->readers.push_back(Impl::Reader{std::move(done), std::move(reader)});
   }
   // Drain: no new connections, wake blocked readers, join them. Responses
   // for everything already submitted still flow (Service::finish).
@@ -196,8 +249,8 @@ void SocketServer::run() {
       }
     }
   }
-  for (std::thread& t : impl_->readers) {
-    if (t.joinable()) t.join();
+  for (Impl::Reader& r : impl_->readers) {
+    if (r.thread.joinable()) r.thread.join();
   }
 }
 

@@ -17,9 +17,12 @@
 //
 // Failure containment: a client that disconnects mid-stream only fails its
 // own sink — the emitter latches, its remaining lines are dropped, every
-// other connection is untouched, and the daemon keeps serving. SIGPIPE must
-// be ignored process-wide (the serve command does this) so a dead peer
-// surfaces as a write error, not process death.
+// other connection is untouched, and the daemon keeps serving. The same
+// holds for a client that stops READING: response writes are bounded by a
+// timeout (socket_server.cpp, kWriteTimeoutMs), so a full socket buffer
+// fails the sink instead of wedging the worker emitting into it. SIGPIPE
+// must be ignored process-wide (the serve command does this) so a dead
+// peer surfaces as a write error, not process death.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +37,9 @@ class SocketServer {
   /// Bind + listen on a unix socket at `path` (an existing stale socket
   /// file is replaced; any other existing file is an error). Throws
   /// util::Error (kIo) on any socket/bind/listen failure.
+  /// `max_connections` caps CONCURRENT connections: finished reader
+  /// threads are reaped on accept, and a peer arriving at the cap gets an
+  /// immediate EOF.
   SocketServer(Service& service, std::string path,
                std::size_t max_connections = 64);
   ~SocketServer();

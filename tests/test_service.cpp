@@ -7,11 +7,13 @@
 
 #include <condition_variable>
 #include <cstdio>
-#include <thread>
+#include <deque>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/pipeline.hpp"
@@ -179,6 +181,44 @@ TEST(Journal, UnwritableDirectoryIsATypedIoError) {
   } catch (const util::Error& e) {
     EXPECT_EQ(e.code(), util::ErrorCode::kIo);
   }
+}
+
+TEST(Journal, ConcurrentAppendsStayWholeLines) {
+  // Socket mode appends from one reader thread per connection; append()
+  // serializes internally, so no line may tear or interleave with another
+  // (and TSan must see no race on the appended counter).
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50;
+  TempFile tmp("journal_concurrent");
+  {
+    Journal journal(tmp.path, /*fsync_each=*/false);
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&journal, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          journal.append("{\"t\":" + std::to_string(t) +
+                         ",\"i\":" + std::to_string(i) + "}");
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(journal.appended(), kThreads * kPerThread);
+  }
+  const Journal::Replay replay = Journal::read_admitted(tmp.path);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.lines.size(), kThreads * kPerThread);
+  // Every appended line must come back intact, exactly once; per-thread
+  // order must be preserved (appends from one thread are sequenced).
+  std::vector<std::size_t> next(kThreads, 0);
+  for (const std::string& line : replay.lines) {
+    const util::Json doc = util::Json::parse(line);
+    const auto t = static_cast<std::size_t>(doc.at("t").as_double());
+    const auto i = static_cast<std::size_t>(doc.at("i").as_double());
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(i, next[t]) << "thread " << t << "'s appends out of order";
+    ++next[t];
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(next[t], kPerThread);
 }
 
 // ---- service: response bytes and exactly-one-response -----------------------
@@ -436,6 +476,55 @@ TEST(ServiceJournal, ReplayReproducesByteIdenticalResponses) {
   // Replay did not re-append: the journal still holds exactly the original
   // admitted lines.
   EXPECT_EQ(Journal::read_admitted(tmp.path).lines.size(), lines.size());
+}
+
+TEST(ServiceJournal, ConcurrentClientsJournalExactlyTheAdmittedSet) {
+  // Socket mode races per-connection reader threads through admission. The
+  // admission critical section must keep (a) each client's response bytes
+  // identical to a solo run of its sub-stream and (b) the journal equal to
+  // the admitted set — every line intact (no interleaved fragments), none
+  // dropped or duplicated. Journal ORDER across clients is arrival timing
+  // and deliberately unasserted.
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 8;
+  TempFile tmp("service_journal_concurrent");
+  std::vector<std::vector<std::string>> streams;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    streams.push_back(request_lines(kPerClient, /*jobs=*/10 + c));
+  }
+  ServiceOptions options;
+  options.threads = 3;
+  options.journal_path = tmp.path;
+  Service service(options);
+  std::deque<CollectingSink> sinks(kClients);
+  std::vector<std::shared_ptr<Service::Client>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.push_back(service.open_client(sinks[c].writer()));
+  }
+  std::vector<std::thread> submitters;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    submitters.emplace_back([&service, &streams, &clients, c] {
+      for (const std::string& line : streams[c]) {
+        service.submit(clients[c], line);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const ServiceSummary summary = service.finish();
+  EXPECT_EQ(summary.admitted, kClients * kPerClient);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(sinks[c].snapshot(), batch_reference(streams[c]))
+        << "client " << c << "'s bytes must not depend on admission races";
+  }
+  const Journal::Replay replay = Journal::read_admitted(tmp.path);
+  EXPECT_FALSE(replay.torn_tail);
+  std::multiset<std::string> journaled(replay.lines.begin(),
+                                       replay.lines.end());
+  std::multiset<std::string> expected;
+  for (const auto& stream : streams) {
+    expected.insert(stream.begin(), stream.end());
+  }
+  EXPECT_EQ(journaled, expected);
 }
 
 // ---- fault injection at the service sites -----------------------------------
