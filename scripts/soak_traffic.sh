@@ -1,0 +1,112 @@
+# Closed-loop sustained-traffic soak: the loadgen driving the real daemon
+# over its unix socket (DESIGN.md §14, EXPERIMENTS.md E16).
+#
+# Rounds, each a fresh daemon + one or more `sharedres_cli loadgen` runs:
+#
+#  1. sustained  — paced poisson traffic with interleaved {"status":true}
+#     probes against a cached daemon; everything must come back ok.
+#  2. repeat     — the same seed replayed against the same daemon: the
+#     request stream is byte-identical (loadgen determinism through the
+#     real binary) and every repeated instance hits the solve cache.
+#  3. shed-heavy — unpaced bursty overload into a tiny queue with shedding
+#     on; responses classify as ok or shed, nothing is lost.
+#  4. deadline   — per-request step budgets too small to finish; every
+#     response is a typed deadline_exceeded error, not a hang or a crash.
+#
+# The contract asserted on every round:
+#  * the daemon never crashes (TERM drain exits 0 with a summary line);
+#  * the loadgen exits 0 — its own gate that EXACTLY one typed response
+#    arrived per request sent (probes included);
+#  * response classifications sum to the requests sent.
+#
+# Run by ctest as traffic_soak (label tier1_slow) and by the CI
+# traffic-smoke job. Budget: ~15s.
+#
+#   usage: soak_traffic.sh <path-to-sharedres_cli>
+set -u
+
+CLI=${1:?usage: soak_traffic.sh <path-to-sharedres_cli>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# report_field <report.json> <field> — print one numeric/bool field.
+report_field() {
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' \
+    "$1" "$2" || fail "unreadable loadgen report $1"
+}
+
+start_daemon() {  # start_daemon <name> [serve flags...]
+  name=$1; shift
+  SOCK="$TMP/$name.sock"
+  "$CLI" serve --socket="$SOCK" "$@" \
+    > "$TMP/$name.out" 2> "$TMP/$name.err" &
+  DAEMON=$!
+  for _ in $(seq 50); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "$name: socket never appeared"
+}
+
+stop_daemon() {  # stop_daemon <name>
+  name=$1
+  kill -TERM "$DAEMON" 2> /dev/null
+  wait "$DAEMON" || fail "$name: daemon crashed or exited non-zero on drain"
+  tail -n 1 "$TMP/$name.out" | grep -q '"summary":true' \
+    || fail "$name: no summary line after drain"
+  tail -n 1 "$TMP/$name.out" | grep -q '"drained":true' \
+    || fail "$name: summary does not report a clean drain"
+}
+
+# ---- round 1+2: sustained paced traffic, then a byte-identical repeat ------
+start_daemon sustained --threads=2 --queue=64 --cache
+"$CLI" loadgen --socket="$SOCK" --requests=200 --rate=2000 --process=poisson \
+  --jobs=16 --seed=11 --window=32 --status-every=20 \
+  --emit-stream="$TMP/stream_a.ndjson" --out="$TMP/round1.json" > /dev/null \
+  || fail "sustained: loadgen lost or duplicated responses"
+[ "$(report_field "$TMP/round1.json" ok)" = 200 ] \
+  || fail "sustained: not every request came back ok"
+[ "$(report_field "$TMP/round1.json" status_responses)" = 10 ] \
+  || fail "sustained: status probes were not all answered"
+
+"$CLI" loadgen --socket="$SOCK" --requests=200 --rate=2000 --process=poisson \
+  --jobs=16 --seed=11 --window=32 \
+  --emit-stream="$TMP/stream_b.ndjson" --out="$TMP/round2.json" > /dev/null \
+  || fail "repeat: loadgen lost or duplicated responses"
+cmp -s "$TMP/stream_a.ndjson" "$TMP/stream_b.ndjson" \
+  || fail "repeat: same seed did not reproduce a byte-identical stream"
+stop_daemon sustained
+tail -n 1 "$TMP/sustained.out" | grep -q '"cache.hits":200' \
+  || fail "repeat: second pass did not hit the solve cache 200 times"
+
+# ---- round 3: shed-heavy bursty overload -----------------------------------
+start_daemon shed --threads=1 --queue=4 --shed-high-water=4
+"$CLI" loadgen --socket="$SOCK" --requests=300 --process=bursty --jobs=30 \
+  --seed=5 --window=64 --out="$TMP/round3.json" > /dev/null \
+  || fail "shed: loadgen lost or duplicated responses"
+OK=$(report_field "$TMP/round3.json" ok)
+SHED=$(report_field "$TMP/round3.json" shed)
+ERRORS=$(report_field "$TMP/round3.json" errors)
+[ "$ERRORS" = 0 ] || fail "shed: $ERRORS untyped errors"
+[ $((OK + SHED)) -eq 300 ] \
+  || fail "shed: ok ($OK) + shed ($SHED) != 300 requests"
+stop_daemon shed
+
+# ---- round 4: per-request deadlines under load ------------------------------
+start_daemon deadline --threads=2 --queue=32
+"$CLI" loadgen --socket="$SOCK" --requests=60 --process=diurnal --jobs=40 \
+  --seed=3 --deadline-steps=1 --window=16 --out="$TMP/round4.json" \
+  > /dev/null || fail "deadline: loadgen lost or duplicated responses"
+DL=$(report_field "$TMP/round4.json" deadline_exceeded)
+OK=$(report_field "$TMP/round4.json" ok)
+[ "$DL" -gt 0 ] || fail "deadline: no request hit its 1-step budget"
+[ $((OK + DL)) -eq 60 ] \
+  || fail "deadline: ok ($OK) + deadline ($DL) != 60 requests"
+stop_daemon deadline
+
+echo "PASS: traffic soak (sustained+probes, cached repeat, shed-heavy, deadlines)"

@@ -12,6 +12,9 @@
 #     compared).
 #  4. Restart replay: a journaled run re-served with --replay reproduces a
 #     byte-identical response prefix without re-appending to the journal.
+#  5. Solve cache: `serve --cache` on a duplicate-heavy stream emits a
+#     response body byte-identical to the cache-off run while actually
+#     serving repeats from the cache.
 #
 # Shedding stays OFF (--shed-high-water=0) throughout: shed decisions
 # depend on queue timing and are exactly what this contract excludes.
@@ -165,4 +168,19 @@ cmp -s "$TMP/journal" "$TMP/stream.ndjson" \
 tail -n 1 "$TMP/life2.ndjson" | grep -q "\"replayed\":$COUNT" \
   || fail "replay summary does not report replayed:$COUNT"
 
-echo "PASS: service determinism (threads, batch parity, socket interleavings, replay)"
+# ---- 5: cached and uncached served bytes are identical ----------------------
+# The stream tripled, so two of every three records are repeat instances.
+cat "$TMP/stream.ndjson" "$TMP/stream.ndjson" "$TMP/stream.ndjson" \
+  > "$TMP/dup.ndjson"
+SHAREDRES_THREADS=4 "$CLI" serve --emit-schedules < "$TMP/dup.ndjson" \
+  > "$TMP/dup_off.ndjson" || fail "serve (cache off) exited $?"
+SHAREDRES_THREADS=4 "$CLI" serve --emit-schedules --cache=64 \
+  < "$TMP/dup.ndjson" > "$TMP/dup_on.ndjson" || fail "serve --cache exited $?"
+sed '$d' "$TMP/dup_off.ndjson" > "$TMP/dup_off_body.ndjson"
+sed '$d' "$TMP/dup_on.ndjson" > "$TMP/dup_on_body.ndjson"
+cmp -s "$TMP/dup_off_body.ndjson" "$TMP/dup_on_body.ndjson" \
+  || fail "serve --cache response body differs from the cache-off run"
+tail -n 1 "$TMP/dup_on.ndjson" | grep -q "\"cache.hits\":$((COUNT * 2))" \
+  || fail "serve --cache did not hit the cache on every repeated record"
+
+echo "PASS: service determinism (threads, batch parity, socket interleavings, replay, cache)"

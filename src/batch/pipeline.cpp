@@ -26,101 +26,6 @@ namespace sharedres::batch {
 
 namespace {
 
-/// A record the reader already parsed, canonicalized, and registered with
-/// the solve cache. Everything a worker needs travels in here; the handle
-/// decides whether the worker produces the canonical solve or waits for it.
-struct CachedWork {
-  InstanceRecord record;
-  cache::CanonicalForm form;
-  cache::SolveCache::Handle handle;
-};
-
-/// Cached counterpart of process_record for records the reader successfully
-/// prepared. The output line is byte-identical to what process_record would
-/// emit: makespan, lower bound, block structure, and (de-canonicalized)
-/// schedule text are all invariant across the canonical equivalence class.
-std::string process_cached(CachedWork& work, std::size_t index,
-                           const WorkOptions& options,
-                           WorkerScratch& scratch) {
-  ResultRecord rec;
-  rec.index = index;
-  rec.id = work.record.id;
-  scratch.metrics.counter("batch.records").inc();
-  try {
-    const core::Instance& inst = work.record.instance;
-    bool served = false;
-    if (work.handle.hit()) {
-      if (const cache::CacheValue* value = work.handle.wait()) {
-        rec.ok = true;
-        rec.algorithm = options.algorithm;
-        rec.machines = inst.machines();
-        rec.jobs = inst.size();
-        rec.makespan = value->makespan;
-        rec.lower_bound = value->lower_bound;
-        rec.blocks = value->blocks;
-        if (options.emit_schedules && value->schedule) {
-          std::ostringstream ss;
-          io::write_schedule(ss, cache::decanonicalize_schedule(
-                                     *value->schedule, work.form.scale));
-          rec.schedule_text = ss.str();
-        }
-        bump_ok_counters(scratch, rec);
-        served = true;
-      }
-      // else: the producer's solve failed and abandoned the entry. Fall
-      // through to a local solve so this record fails (or succeeds) exactly
-      // as it would in a cache-off run.
-    }
-    if (!served) {
-      if (work.handle.hit()) {
-        solve_record_fields(inst, options, work.record.deadline_steps,
-                            scratch, rec);
-      } else {
-        // Producer: solve the canonical twin once, publish it, and report
-        // through this record's own scaling. The canonical schedule is the
-        // source schedule with every share divided by form.scale (exactly —
-        // see tests/test_canonical.cpp), so makespan and block structure
-        // carry over unchanged.
-        solve_record_fields(work.form.instance(), options,
-                            work.record.deadline_steps, scratch, rec);
-        if (options.emit_schedules) {
-          std::ostringstream ss;
-          io::write_schedule(ss, cache::decanonicalize_schedule(
-                                     scratch.schedule, work.form.scale));
-          rec.schedule_text = ss.str();
-        }
-        cache::CacheValue value;
-        value.makespan = rec.makespan;
-        value.lower_bound = rec.lower_bound;
-        value.blocks = rec.blocks;
-        if (options.emit_schedules) value.schedule = scratch.schedule;
-        work.handle.fill(std::move(value));
-      }
-    }
-  } catch (const util::Error& e) {
-    rec.ok = false;
-    rec.error_code = util::to_string(e.code());
-    rec.error_message = e.what();
-    if (e.code() == util::ErrorCode::kDeadlineExceeded) {
-      scratch.metrics.counter("batch.deadline_exceeded").inc();
-    }
-  } catch (const util::OverflowError& e) {
-    rec.ok = false;
-    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
-    rec.error_message = e.what();
-  } catch (const std::invalid_argument& e) {
-    rec.ok = false;
-    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
-    rec.error_message = e.what();
-  }
-  if (!rec.ok) {
-    // No id salvage needed here: the reader parsed the line, so rec.id
-    // already carries whatever label the record had.
-    scratch.metrics.counter("batch.records_failed").inc();
-  }
-  return format_result_record(rec);
-}
-
 bool blank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
@@ -155,23 +60,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
   }
   // Parse + canonicalize + acquire on the reader thread, in input order —
   // the serialization point the cache's determinism contract needs (see
-  // solve_cache.hpp). nullopt means the line could not be prepared; the
-  // worker re-parses it uncached and emits the identical error record.
-  const auto prepare = [&](const std::string& raw)
-      -> std::optional<CachedWork> {
-    try {
-      InstanceRecord record = parse_instance_record(raw);
-      cache::CanonicalForm form = cache::canonicalize(record.instance);
-      auto handle = cache->acquire(form);
-      return CachedWork{std::move(record), std::move(form),
-                        std::move(handle)};
-    } catch (const util::Error&) {
-    } catch (const util::OverflowError&) {
-    } catch (const std::invalid_argument&) {
-    }
-    return std::nullopt;
-  };
-
+  // solve_cache.hpp and prepare_cached in worker.hpp).
   if (options.threads <= 1) {
     // Fully inline: no pool, no extra threads. Byte-identical to the pooled
     // path by construction (same process_record, same emitter).
@@ -182,7 +71,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       // whose results can never be delivered is wasted work.
       if (emitter.failed()) break;
       if (cache) {
-        if (auto work = prepare(line)) {
+        if (auto work = prepare_cached(line, *cache)) {
           emitter.emit(
               index, process_cached(*work, index, work_options, scratch[0]));
         } else {
@@ -204,7 +93,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
       // (their emits are dropped by the failed emitter).
       if (emitter.failed()) break;
       std::optional<CachedWork> work;
-      if (cache && (work = prepare(line))) {
+      if (cache && (work = prepare_cached(line, *cache))) {
         // shared_ptr because std::function requires a copyable callable and
         // CachedWork (the cache handle) is move-only. FIFO submission order
         // keeps the no-deadlock guarantee: a key's producer task is always

@@ -107,7 +107,7 @@ std::optional<InstanceRecord> parse_fast(const std::string& line) {
   std::int64_t deadline_steps = 0;
   std::vector<core::Job> jobs;
   bool seen_id = false, seen_machines = false, seen_capacity = false,
-       seen_jobs = false, seen_deadline = false;
+       seen_jobs = false, seen_deadline = false, seen_arrival = false;
   if (!s.lit('}')) {
     for (;;) {
       std::string key;
@@ -127,6 +127,17 @@ std::optional<InstanceRecord> parse_fast(const std::string& line) {
           return std::nullopt;
         }
         seen_deadline = true;
+      } else if (key == "arrival") {
+        // Traffic streams (workloads/traffic.hpp) timestamp each record with
+        // the arrival step; the solver ignores it (the DOM path drops every
+        // unknown key), but the scanner must skip it so sustained-traffic
+        // inputs stay on the fast path. Anything but a simple non-negative
+        // integer falls back to the DOM, which accepts any value here.
+        std::int64_t arrival = 0;
+        if (seen_arrival || !s.int15(arrival) || arrival < 0) {
+          return std::nullopt;
+        }
+        seen_arrival = true;
       } else if (key == "jobs") {
         if (seen_jobs || !s.lit('[')) return std::nullopt;
         seen_jobs = true;

@@ -102,6 +102,102 @@ void solve_record_fields(const core::Instance& inst,
   bump_ok_counters(scratch, rec);
 }
 
+std::optional<CachedWork> prepare_cached(const std::string& line,
+                                         cache::SolveCache& cache) {
+  try {
+    InstanceRecord record = parse_instance_record(line);
+    cache::CanonicalForm form = cache::canonicalize(record.instance);
+    auto handle = cache.acquire(form);
+    return CachedWork{std::move(record), std::move(form), std::move(handle)};
+  } catch (const util::Error&) {
+  } catch (const util::OverflowError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  return std::nullopt;
+}
+
+std::string process_cached(CachedWork& work, std::size_t index,
+                           const WorkOptions& options,
+                           WorkerScratch& scratch) {
+  ResultRecord rec;
+  rec.index = index;
+  rec.id = work.record.id;
+  scratch.metrics.counter("batch.records").inc();
+  try {
+    const core::Instance& inst = work.record.instance;
+    bool served = false;
+    if (work.handle.hit()) {
+      if (const cache::CacheValue* value = work.handle.wait()) {
+        rec.ok = true;
+        rec.algorithm = options.algorithm;
+        rec.machines = inst.machines();
+        rec.jobs = inst.size();
+        rec.makespan = value->makespan;
+        rec.lower_bound = value->lower_bound;
+        rec.blocks = value->blocks;
+        if (options.emit_schedules && value->schedule) {
+          std::ostringstream ss;
+          io::write_schedule(ss, cache::decanonicalize_schedule(
+                                     *value->schedule, work.form.scale));
+          rec.schedule_text = ss.str();
+        }
+        bump_ok_counters(scratch, rec);
+        served = true;
+      }
+      // else: the producer's solve failed and abandoned the entry. Fall
+      // through to a local solve so this record fails (or succeeds) exactly
+      // as it would in a cache-off run.
+    }
+    if (!served) {
+      if (work.handle.hit()) {
+        solve_record_fields(inst, options, work.record.deadline_steps,
+                            scratch, rec);
+      } else {
+        // Producer: solve the canonical twin once, publish it, and report
+        // through this record's own scaling. The canonical schedule is the
+        // source schedule with every share divided by form.scale (exactly —
+        // see tests/test_canonical.cpp), so makespan and block structure
+        // carry over unchanged.
+        solve_record_fields(work.form.instance(), options,
+                            work.record.deadline_steps, scratch, rec);
+        if (options.emit_schedules) {
+          std::ostringstream ss;
+          io::write_schedule(ss, cache::decanonicalize_schedule(
+                                     scratch.schedule, work.form.scale));
+          rec.schedule_text = ss.str();
+        }
+        cache::CacheValue value;
+        value.makespan = rec.makespan;
+        value.lower_bound = rec.lower_bound;
+        value.blocks = rec.blocks;
+        if (options.emit_schedules) value.schedule = scratch.schedule;
+        work.handle.fill(std::move(value));
+      }
+    }
+  } catch (const util::Error& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(e.code());
+    rec.error_message = e.what();
+    if (e.code() == util::ErrorCode::kDeadlineExceeded) {
+      scratch.metrics.counter("batch.deadline_exceeded").inc();
+    }
+  } catch (const util::OverflowError& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kOverflow);
+    rec.error_message = e.what();
+  } catch (const std::invalid_argument& e) {
+    rec.ok = false;
+    rec.error_code = util::to_string(util::ErrorCode::kInvalidInstance);
+    rec.error_message = e.what();
+  }
+  if (!rec.ok) {
+    // No id salvage needed here: the front end parsed the line, so rec.id
+    // already carries whatever label the record had.
+    scratch.metrics.counter("batch.records_failed").inc();
+  }
+  return format_result_record(rec);
+}
+
 std::string process_record(const std::string& line, std::size_t index,
                            const WorkOptions& options,
                            WorkerScratch& scratch) {

@@ -21,6 +21,8 @@
 #include <string>
 
 #include "batch/stream.hpp"
+#include "cache/canonical.hpp"
+#include "cache/solve_cache.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "core/sos_engine.hpp"
@@ -87,6 +89,35 @@ void solve_record_fields(const core::Instance& inst,
 /// std::logic_error — a library bug — escapes.
 [[nodiscard]] std::string process_record(const std::string& line,
                                          std::size_t index,
+                                         const WorkOptions& options,
+                                         WorkerScratch& scratch);
+
+// ---- solve-cache path (shared by the batch pipeline and the service) ------
+
+/// A record the front end already parsed, canonicalized, and registered with
+/// the solve cache. Everything a worker needs travels in here; the handle
+/// decides whether the worker produces the canonical solve or waits for it.
+struct CachedWork {
+  InstanceRecord record;
+  cache::CanonicalForm form;
+  cache::SolveCache::Handle handle;
+};
+
+/// Parse + canonicalize `line` and acquire its cache handle. MUST be called
+/// on the stream's serialization point — the batch reader in input order,
+/// the service under its admission mutex — because acquire() order is what
+/// the cache's determinism contract is defined over (solve_cache.hpp).
+/// nullopt means the line could not be prepared; the caller processes it
+/// uncached and emits the identical error record.
+[[nodiscard]] std::optional<CachedWork> prepare_cached(
+    const std::string& line, cache::SolveCache& cache);
+
+/// Cached counterpart of process_record for records the front end
+/// successfully prepared. The output line is byte-identical to what
+/// process_record would emit: makespan, lower bound, block structure, and
+/// (de-canonicalized) schedule text are all invariant across the canonical
+/// equivalence class.
+[[nodiscard]] std::string process_cached(CachedWork& work, std::size_t index,
                                          const WorkOptions& options,
                                          WorkerScratch& scratch);
 

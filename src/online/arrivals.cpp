@@ -1,0 +1,178 @@
+#include "online/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sharedres::online {
+
+namespace {
+
+// Built-in diurnal profile: 24 slots of a stylized day — a quiet night, a
+// morning ramp, a midday plateau, an evening peak, and a wind-down. Relative
+// rates; normalized to mean 1 before use.
+const std::vector<double>& default_diurnal_profile() {
+  static const std::vector<double> kProfile = {
+      0.2, 0.15, 0.1, 0.1, 0.15, 0.3,   // 00–05: night
+      0.6, 1.0,  1.4, 1.6, 1.7,  1.8,   // 06–11: morning ramp
+      1.6, 1.5,  1.5, 1.6, 1.7,  1.9,   // 12–17: plateau
+      2.2, 2.0,  1.6, 1.2, 0.8,  0.45,  // 18–23: evening peak, wind-down
+  };
+  return kProfile;
+}
+
+void validate_config(const ArrivalConfig& config) {
+  if (!(config.rate >= 0.0) || !std::isfinite(config.rate)) {
+    throw std::invalid_argument("arrivals: rate must be finite and >= 0");
+  }
+  switch (config.kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kBursty:
+      if (!(config.burst_factor >= 1.0) ||
+          !std::isfinite(config.burst_factor)) {
+        throw std::invalid_argument("arrivals: burst_factor must be >= 1");
+      }
+      if (!(config.p_enter_burst >= 0.0 && config.p_enter_burst <= 1.0) ||
+          !(config.p_exit_burst >= 0.0 && config.p_exit_burst <= 1.0)) {
+        throw std::invalid_argument(
+            "arrivals: burst transition probabilities must be in [0, 1]");
+      }
+      break;
+    case ArrivalKind::kDiurnal: {
+      if (config.steps_per_slot <= 0) {
+        throw std::invalid_argument("arrivals: steps_per_slot must be >= 1");
+      }
+      const std::vector<double>& profile =
+          config.profile.empty() ? default_diurnal_profile() : config.profile;
+      double sum = 0.0;
+      for (const double r : profile) {
+        if (!(r >= 0.0) || !std::isfinite(r)) {
+          throw std::invalid_argument(
+              "arrivals: profile rates must be finite and >= 0");
+        }
+        sum += r;
+      }
+      if (sum <= 0.0) {
+        throw std::invalid_argument("arrivals: profile must not be all zero");
+      }
+      break;
+    }
+  }
+}
+
+// Knuth's product method: exact Poisson(λ) draws from uniform01() — portable
+// (no std::poisson_distribution, which is implementation-defined) and fine
+// for the per-step rates we use (λ well below ~500, so exp(-λ) does not
+// underflow to a degenerate loop).
+std::size_t poisson_draw(util::Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  std::size_t k = 0;
+  double product = 1.0;
+  do {
+    ++k;
+    product *= rng.uniform01();
+  } while (product > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  validate_config(config_);
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kBursty: {
+      // Scale the quiet rate so the stationary mean equals config.rate:
+      // mean = quiet·(1−f) + quiet·factor·f with burst fraction
+      // f = p_enter / (p_enter + p_exit) (f = 0 when both are 0: the chain
+      // never leaves the quiet state it starts in).
+      const double p_sum = config_.p_enter_burst + config_.p_exit_burst;
+      const double f = p_sum > 0.0 ? config_.p_enter_burst / p_sum : 0.0;
+      quiet_rate_ = config_.rate / (1.0 + f * (config_.burst_factor - 1.0));
+      burst_rate_ = quiet_rate_ * config_.burst_factor;
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      profile_ =
+          config_.profile.empty() ? default_diurnal_profile() : config_.profile;
+      double sum = 0.0;
+      for (const double r : profile_) sum += r;
+      const double mean = sum / static_cast<double>(profile_.size());
+      for (double& r : profile_) r /= mean;
+      break;
+    }
+  }
+}
+
+double ArrivalProcess::current_rate() const {
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      return config_.rate;
+    case ArrivalKind::kBursty:
+      return bursting_ ? burst_rate_ : quiet_rate_;
+    case ArrivalKind::kDiurnal: {
+      // Next step is step_ + 1 (1-based); slot index cycles the profile.
+      const auto slot = static_cast<std::size_t>(
+          (step_ / config_.steps_per_slot) %
+          static_cast<core::Time>(profile_.size()));
+      return config_.rate * profile_[slot];
+    }
+  }
+  return 0.0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+std::size_t ArrivalProcess::next_count() {
+  const double rate = current_rate();
+  ++step_;
+  const std::size_t count = poisson_draw(rng_, rate);
+  if (config_.kind == ArrivalKind::kBursty) {
+    // Transition AFTER the draw so current_rate() always reports the rate
+    // the next call will use.
+    const double p =
+        bursting_ ? config_.p_exit_burst : config_.p_enter_burst;
+    if (rng_.bernoulli(p)) bursting_ = !bursting_;
+  }
+  return count;
+}
+
+std::vector<core::Time> arrival_times(const ArrivalConfig& config,
+                                      std::size_t max_arrivals,
+                                      core::Time horizon) {
+  ArrivalProcess process(config);
+  std::vector<core::Time> out;
+  if (max_arrivals == 0 || config.rate <= 0.0) return out;
+  out.reserve(max_arrivals);
+  while (out.size() < max_arrivals) {
+    if (horizon != 0 && process.step() >= horizon) break;
+    const std::size_t count = process.next_count();
+    const core::Time t = process.step();
+    for (std::size_t i = 0; i < count && out.size() < max_arrivals; ++i) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+ArrivalKind parse_arrival_kind(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  throw std::invalid_argument("unknown arrival process: " + name);
+}
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+}  // namespace sharedres::online

@@ -1,0 +1,106 @@
+// Stochastic arrival processes for the sustained-traffic simulation
+// (DESIGN.md §14).
+//
+// The batch-vs-dynamic framing (Casanova–Stillwell–Vivien, PAPERS.md) needs
+// request streams that look like real traffic, not like one offline batch:
+// jobs trickle in (Poisson), slam in correlated bursts (Markov-modulated),
+// or swell and ebb on a daily rhythm (diurnal profile playback). All three
+// are modeled as a rate-modulated Poisson process on the discrete step grid:
+// a per-step rate λ(t) decides how many arrivals land on step t, and the
+// process differs only in how λ(t) evolves.
+//
+// Determinism contract: every sample is drawn through util::Rng (xoshiro +
+// our own portable distributions), so a fixed ArrivalConfig yields a
+// bit-identical arrival sequence on every run, thread count, and platform
+// with identical floating-point libm behavior — the same promise the
+// workload generators already make. Distinct seeds yield distinct streams
+// (tested in tests/test_online.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::online {
+
+enum class ArrivalKind {
+  kPoisson,  ///< constant rate λ
+  kBursty,   ///< 2-state Markov-modulated Poisson (quiet ↔ burst)
+  kDiurnal,  ///< rate follows a repeating per-slot profile (trace playback)
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Mean arrivals per step. For kPoisson this is λ; for kBursty and
+  /// kDiurnal the state/profile rates below are scaled so the long-run mean
+  /// is (approximately) this value. Must be >= 0; 0 generates no arrivals.
+  double rate = 1.0;
+  std::uint64_t seed = 1;
+
+  // --- kBursty (Markov-modulated, 2 states) ---
+  /// Burst-state rate multiplier over the quiet state (> 1).
+  double burst_factor = 8.0;
+  /// Per-step probability of entering / leaving the burst state. The
+  /// stationary burst fraction is p_enter / (p_enter + p_exit).
+  double p_enter_burst = 0.05;
+  double p_exit_burst = 0.25;
+
+  // --- kDiurnal ---
+  /// Steps spent on each profile slot before moving to the next.
+  core::Time steps_per_slot = 16;
+  /// Relative per-slot rates, played back cyclically ("the day"). Empty
+  /// selects the built-in 24-slot day/night profile. Values must be >= 0
+  /// and not all zero; they are normalized so the profile mean is 1.
+  std::vector<double> profile;
+};
+
+/// One process instantiation: a stateful generator of the per-step arrival
+/// counts. Pure in the config (see file comment).
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& config);
+
+  /// Number of arrivals landing on the next step (the first call answers
+  /// for step 1, the second for step 2, ...).
+  [[nodiscard]] std::size_t next_count();
+
+  /// The 1-based step the last next_count() call answered for (0 before the
+  /// first call).
+  [[nodiscard]] core::Time step() const { return step_; }
+
+  /// The per-step rate the NEXT next_count() call will draw with — exposed
+  /// for the mean-sanity tests; for kBursty this already reflects the
+  /// current Markov state.
+  [[nodiscard]] double current_rate() const;
+
+ private:
+  ArrivalConfig config_;
+  util::Rng rng_;
+  core::Time step_ = 0;
+  bool bursting_ = false;
+  double quiet_rate_ = 0.0;
+  double burst_rate_ = 0.0;
+  std::vector<double> profile_;  ///< normalized (mean 1) diurnal profile
+};
+
+/// The arrival steps (1-based, non-decreasing) of the first arrivals of the
+/// process — at most `max_arrivals` of them, and none past `horizon` steps
+/// (horizon = 0 means "no step bound"; with rate 0 or max_arrivals 0 the
+/// result is empty, which is why a 0 horizon still terminates: the process
+/// is scanned only while arrivals can still appear, capped at a proven
+/// internal bound when the rate is degenerate). Throws std::invalid_argument
+/// on malformed configs (negative rates/probabilities, empty effective
+/// profile).
+[[nodiscard]] std::vector<core::Time> arrival_times(
+    const ArrivalConfig& config, std::size_t max_arrivals,
+    core::Time horizon = 0);
+
+/// Parse "poisson" | "bursty" | "diurnal" (the CLI/bench spelling). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] ArrivalKind parse_arrival_kind(const std::string& name);
+[[nodiscard]] const char* to_string(ArrivalKind kind);
+
+}  // namespace sharedres::online

@@ -1,0 +1,131 @@
+// Stepwise dynamic scheduling with irrevocable commits (DESIGN.md §14).
+//
+// The monolithic online schedulers (online_scheduler.hpp) consume a complete
+// OnlineInstance: every release time is known up front, which is fine for
+// competitive-ratio experiments but cannot model sustained traffic, where
+// the scheduler learns of a job only when it arrives. DynamicEngine inverts
+// the control flow: callers submit jobs as they arrive (release strictly in
+// the future — the engine refuses hindsight) and drive time forward one
+// step() at a time; each step commits one schedule block that is never
+// revised. Irrevocability is structural: committed() exposes the Schedule
+// by const reference and the engine only ever appends to it.
+//
+// The per-step decision rules are the SAME ones the monolithic schedulers
+// apply — extracted verbatim — so feeding the engine a full instance up
+// front reproduces schedule_online_greedy / schedule_online_reservation
+// block-for-block (core::Schedule::append merges identical consecutive
+// steps back into the monoliths' long blocks). The monoliths are now thin
+// wrappers over this engine, keeping one copy of the policy logic.
+//
+// Accounting: the engine tracks per-job {release, start, completion} and
+// per-step busy resource units. Flow time (completion − release + 1, the
+// steps a request spends in the system) and utilization fall out exactly;
+// the same facts are mirrored into the global obs registry as deterministic
+// metrics (online.* — counters and a log-bucketed flow-time histogram), so
+// bench_online_traffic's percentile gate can compare runs across thread
+// counts bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+#include "core/types.hpp"
+
+namespace sharedres::online {
+
+/// Per-step commitment rule; see online_scheduler.hpp for the semantics.
+enum class DynamicPolicy {
+  kGreedy,       ///< sustain started jobs, top-up smallest-remaining-first
+  kReservation,  ///< Garey–Graham full-reservation admission
+};
+
+/// Lifecycle facts of one submitted job, filled in as the engine runs.
+struct DynamicJobStats {
+  core::Time release = 0;     ///< step the job became available
+  core::Time start = 0;       ///< first step with a positive share (0: none)
+  core::Time completion = 0;  ///< step its last unit completed (0: unfinished)
+
+  [[nodiscard]] bool finished() const { return completion != 0; }
+  /// Steps in the system, release through completion inclusive. Only
+  /// meaningful once finished().
+  [[nodiscard]] core::Time flow_time() const {
+    return completion - release + 1;
+  }
+};
+
+class DynamicEngine {
+ public:
+  /// Throws std::invalid_argument unless machines >= 1 and capacity >= 1.
+  DynamicEngine(int machines, core::Res capacity,
+                DynamicPolicy policy = DynamicPolicy::kGreedy);
+
+  /// Announce a job that becomes available at step `release`. Returns its
+  /// JobId (assignment ids in committed() use submission order). Throws
+  /// std::invalid_argument when release <= now() — the past is committed —
+  /// or the job is malformed (size or requirement < 1).
+  core::JobId submit(core::Time release, const core::Job& job);
+
+  /// Advance one step: commit the block for step now()+1 (possibly empty —
+  /// nothing released, or nothing submitted at all) and apply its progress.
+  /// After the call, committed().makespan() == now().
+  void step();
+
+  /// step() until every submitted job is finished (no-op when idle()).
+  /// Returns now(). The wrapper path for full-instance scheduling; a
+  /// traffic simulation instead interleaves submit() and step().
+  core::Time run_until_idle();
+
+  /// Steps committed so far (the schedule's makespan).
+  [[nodiscard]] core::Time now() const { return now_; }
+
+  /// True when every submitted job has finished.
+  [[nodiscard]] bool idle() const { return unfinished_ == 0; }
+
+  /// The committed prefix — append-only, never revised.
+  [[nodiscard]] const core::Schedule& committed() const { return schedule_; }
+
+  /// Per-job lifecycle stats, indexed by JobId.
+  [[nodiscard]] const std::vector<DynamicJobStats>& stats() const {
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t submitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed() const {
+    return jobs_.size() - unfinished_;
+  }
+
+  /// Total resource units granted over all committed steps.
+  [[nodiscard]] core::Res busy_units() const { return busy_units_; }
+
+  /// busy_units / (capacity · now): the fraction of the sharable resource
+  /// the committed schedule actually used. 0 before the first step.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  struct JobState {
+    core::Job job;
+    core::Time release = 0;
+    core::Res rem = 0;
+    bool started = false;
+  };
+
+  void step_greedy(std::vector<core::Assignment>& out);
+  void step_reservation(std::vector<core::Assignment>& out);
+  void apply(core::JobId j, core::Res share,
+             std::vector<core::Assignment>& out);
+
+  std::size_t machines_;
+  core::Res capacity_;
+  DynamicPolicy policy_;
+  core::Time now_ = 0;
+  std::size_t unfinished_ = 0;
+  core::Res busy_units_ = 0;
+  std::vector<JobState> jobs_;
+  std::vector<DynamicJobStats> stats_;
+  core::Schedule schedule_;
+  std::vector<core::Res> share_;  ///< per-step scratch (greedy)
+};
+
+}  // namespace sharedres::online

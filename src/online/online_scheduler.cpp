@@ -1,208 +1,35 @@
 #include "online/online_scheduler.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <stdexcept>
-#include <vector>
-
-#include "util/checked.hpp"
+#include "online/dynamic.hpp"
 
 namespace sharedres::online {
 
+// Both schedulers are thin wrappers over the stepwise DynamicEngine
+// (dynamic.hpp): announce every job up front, run to completion. The engine
+// applies the same per-step rules these functions used to hard-code, and
+// Schedule::append merges its length-1 commits back into the long blocks the
+// original monoliths emitted — the result is equal block-for-block
+// (asserted by the wrapper-equality test in tests/test_online.cpp).
+
 namespace {
 
-using core::Assignment;
-using core::Res;
-using core::Schedule;
-using core::Time;
-
-struct JobState {
-  Res rem = 0;
-  bool started = false;
-};
-
-bool all_done(const std::vector<JobState>& state) {
-  for (const JobState& s : state) {
-    if (s.rem > 0) return false;
-  }
-  return true;
+core::Schedule run_policy(const OnlineInstance& instance,
+                          DynamicPolicy policy) {
+  instance.validate_input();
+  DynamicEngine engine(instance.machines, instance.capacity, policy);
+  for (const OnlineJob& oj : instance.jobs) engine.submit(oj.release, oj.job);
+  engine.run_until_idle();
+  return engine.committed();
 }
 
 }  // namespace
 
-Schedule schedule_online_greedy(const OnlineInstance& instance) {
-  instance.validate_input();
-  const auto m = static_cast<std::size_t>(instance.machines);
-  const Res capacity = instance.capacity;
-
-  std::vector<JobState> state(instance.size());
-  for (std::size_t j = 0; j < instance.size(); ++j) {
-    state[j].rem = instance.jobs[j].job.total_requirement();
-  }
-
-  Schedule out;
-  Time t = 0;
-  while (!all_done(state)) {
-    ++t;
-    // Released, unfinished jobs; started ones are mandatory.
-    std::vector<std::size_t> started, fresh;
-    for (std::size_t j = 0; j < instance.size(); ++j) {
-      if (state[j].rem == 0 || instance.jobs[j].release > t) continue;
-      (state[j].started ? started : fresh).push_back(j);
-    }
-    if (started.empty() && fresh.empty()) {
-      // Nothing released: idle (empty blocks) until the next release.
-      Time next_release = std::numeric_limits<Time>::max();
-      for (std::size_t j = 0; j < instance.size(); ++j) {
-        if (state[j].rem > 0) {
-          next_release = std::min(next_release, instance.jobs[j].release);
-        }
-      }
-      out.append(next_release - t, {});
-      t = next_release;
-      for (std::size_t j = 0; j < instance.size(); ++j) {
-        if (state[j].rem == 0 || instance.jobs[j].release > t) continue;
-        fresh.push_back(j);  // nothing can be started while idle
-      }
-    }
-
-    std::vector<Assignment> step;
-    Res left = capacity;
-    std::size_t machines_left = m;
-    std::size_t in_flight = 0;
-
-    // Sustain started jobs (one unit reserve each), smallest remaining
-    // first for the top-ups.
-    auto by_remaining = [&](std::size_t a, std::size_t b) {
-      return state[a].rem != state[b].rem ? state[a].rem < state[b].rem
-                                          : a < b;
-    };
-    std::sort(started.begin(), started.end(), by_remaining);
-    std::sort(fresh.begin(), fresh.end(), by_remaining);
-
-    std::vector<Res> share(instance.size(), 0);
-    for (const std::size_t j : started) {
-      if (machines_left == 0 || left == 0) {
-        throw std::logic_error("online greedy cannot sustain started jobs");
-      }
-      share[j] = 1;
-      --left;
-      --machines_left;
-    }
-    auto top_up = [&](std::size_t j) {
-      const Res cap = std::min(instance.jobs[j].job.requirement,
-                               std::min(state[j].rem, capacity));
-      const Res extra = std::min(cap - share[j], left);
-      share[j] += extra;
-      left -= extra;
-    };
-    for (const std::size_t j : started) top_up(j);
-    bool any_progress = !started.empty();
-    for (const std::size_t j : fresh) {
-      if (machines_left == 0 || left == 0) break;
-      const Res cap = std::min(instance.jobs[j].job.requirement,
-                               std::min(state[j].rem, capacity));
-      const Res grant = std::min(cap, left);
-      if (grant == 0) continue;
-      // Start only if it finishes now, or we can sustain it in later steps
-      // (one unit per open job), or nothing else progressed yet.
-      if (grant < state[j].rem && any_progress &&
-          static_cast<Res>(in_flight + started.size()) + 1 >= capacity) {
-        continue;
-      }
-      share[j] = grant;
-      left -= grant;
-      --machines_left;
-      any_progress = true;
-      if (grant < state[j].rem) ++in_flight;
-    }
-
-    for (const std::size_t j : started) {
-      state[j].rem -= share[j];
-      if (state[j].rem == 0) state[j].started = false;
-      step.push_back(Assignment{j, share[j]});
-    }
-    for (const std::size_t j : fresh) {
-      if (share[j] == 0) continue;
-      state[j].rem -= share[j];
-      state[j].started = state[j].rem > 0;
-      step.push_back(Assignment{j, share[j]});
-    }
-    if (step.empty()) {
-      throw std::logic_error("online greedy made no progress");
-    }
-    out.append(1, std::move(step));
-  }
-  return out;
+core::Schedule schedule_online_greedy(const OnlineInstance& instance) {
+  return run_policy(instance, DynamicPolicy::kGreedy);
 }
 
-Schedule schedule_online_reservation(const OnlineInstance& instance) {
-  instance.validate_input();
-  const auto m = static_cast<std::size_t>(instance.machines);
-  const Res capacity = instance.capacity;
-
-  std::vector<JobState> state(instance.size());
-  for (std::size_t j = 0; j < instance.size(); ++j) {
-    state[j].rem = instance.jobs[j].job.total_requirement();
-  }
-
-  Schedule out;
-  Time t = 0;
-  while (!all_done(state)) {
-    ++t;
-    std::vector<std::size_t> running, waiting;
-    for (std::size_t j = 0; j < instance.size(); ++j) {
-      if (state[j].rem == 0 || instance.jobs[j].release > t) continue;
-      (state[j].started ? running : waiting).push_back(j);
-    }
-    if (running.empty() && waiting.empty()) {
-      Time next_release = std::numeric_limits<Time>::max();
-      for (std::size_t j = 0; j < instance.size(); ++j) {
-        if (state[j].rem > 0) {
-          next_release = std::min(next_release, instance.jobs[j].release);
-        }
-      }
-      if (next_release > t) {
-        out.append(next_release - t, {});
-        t = next_release;
-      }
-      for (std::size_t j = 0; j < instance.size(); ++j) {
-        if (state[j].rem == 0 || instance.jobs[j].release > t) continue;
-        waiting.push_back(j);
-      }
-    }
-
-    std::vector<Assignment> step;
-    Res left = capacity;
-    std::size_t machines_left = m;
-    // Running jobs keep their full reservation.
-    for (const std::size_t j : running) {
-      const Res rate = std::min(instance.jobs[j].job.requirement, capacity);
-      const Res grant = std::min(rate, state[j].rem);
-      step.push_back(Assignment{j, grant});
-      state[j].rem -= grant;
-      if (state[j].rem == 0) state[j].started = false;
-      left -= grant;
-      --machines_left;
-    }
-    // Admit waiting jobs in release order while their reservation fits.
-    for (const std::size_t j : waiting) {
-      if (machines_left == 0) break;
-      const Res rate = std::min(instance.jobs[j].job.requirement, capacity);
-      if (rate > left) continue;
-      const Res grant = std::min(rate, state[j].rem);
-      step.push_back(Assignment{j, grant});
-      state[j].rem -= grant;
-      state[j].started = state[j].rem > 0;
-      left -= grant;
-      --machines_left;
-    }
-    if (step.empty()) {
-      throw std::logic_error("online reservation made no progress");
-    }
-    out.append(1, std::move(step));
-  }
-  return out;
+core::Schedule schedule_online_reservation(const OnlineInstance& instance) {
+  return run_policy(instance, DynamicPolicy::kReservation);
 }
 
 }  // namespace sharedres::online

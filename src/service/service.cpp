@@ -5,6 +5,7 @@
 #include "batch/stream.hpp"
 #include "obs/json_export.hpp"
 #include "obs/registry.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 
@@ -35,6 +36,11 @@ Service::Service(const ServiceOptions& options) : options_(options) {
   if (!options_.journal_path.empty()) {
     journal_.emplace(options_.journal_path, options_.journal_fsync);
   }
+  if (options_.cache_capacity > 0) {
+    cache_.emplace(cache::SolveCache::Config{options_.cache_capacity,
+                                             options_.cache_shards});
+  }
+  start_ns_ = util::deadline::now_ns();
   pool_.emplace(options_.threads, options_.queue_capacity);
   for (std::size_t w = 0; w < pool_->threads(); ++w) scratch_.emplace_back();
 }
@@ -79,12 +85,54 @@ void Service::reject(const std::shared_ptr<Client>& client, std::size_t index,
   client->emitter.emit(index, batch::format_result_record(rec));
 }
 
+bool Service::answer_status(const std::shared_ptr<Client>& client,
+                            std::size_t index, const std::string& line) {
+  // Cheap pre-filter: instance records never carry a "status" key, so the
+  // strict parse below runs only on candidate probes.
+  if (line.find("\"status\"") == std::string::npos) return false;
+  try {
+    const util::Json doc = util::Json::parse(line);
+    if (!doc.is_object() || !doc.contains("status") ||
+        !doc.at("status").is_bool() || !doc.at("status").as_bool()) {
+      return false;
+    }
+  } catch (const util::Error&) {
+    return false;  // not valid JSON: the normal path owns the error line
+  }
+  status_requests_.fetch_add(1, std::memory_order_relaxed);
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("index", static_cast<std::uint64_t>(index));
+  doc.emplace("status", true);
+  doc.emplace("ok", true);
+  doc.emplace("draining", draining_.load(std::memory_order_relaxed));
+  // Queue depth is the same live fact the service.queue_depth gauge in the
+  // obs registry tracks; reading the pool directly avoids a registry lookup
+  // and works when obs is compiled out.
+  doc.emplace("queue_depth", static_cast<std::uint64_t>(pool_->pending()));
+  doc.emplace("requests", requests_.load(std::memory_order_relaxed));
+  doc.emplace("admitted", admitted_.load(std::memory_order_relaxed));
+  doc.emplace("shed", shed_.load(std::memory_order_relaxed));
+  doc.emplace("drain_rejected",
+              drain_rejected_.load(std::memory_order_relaxed));
+  doc.emplace("admit_errors", admit_errors_.load(std::memory_order_relaxed));
+  doc.emplace("responses", responses_.load(std::memory_order_relaxed));
+  doc.emplace("uptime_ms", static_cast<std::uint64_t>(
+                               (util::deadline::now_ns() - start_ns_) /
+                               1'000'000ull));
+  client->emitter.emit(index, doc.dump());
+  return true;
+}
+
 void Service::submit(const std::shared_ptr<Client>& client,
                      const std::string& line) {
   if (finished_) throw std::logic_error("Service::submit after finish");
   if (blank(line)) return;
   requests_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t index = client->next_index++;
+  // Health probes are answered in place — before the drain check, because a
+  // probe is how an operator watches a drain complete — and never journaled,
+  // cached, or queued.
+  if (answer_status(client, index, line)) return;
   if (draining_.load(std::memory_order_relaxed)) {
     drain_rejected_.fetch_add(1, std::memory_order_relaxed);
     reject(client, index, "shed", "shed: service is draining");
@@ -154,6 +202,26 @@ void Service::enqueue(const std::shared_ptr<Client>& client, std::size_t index,
   // pool — same observable behavior). With shedding on, the high-water
   // check in submit() plus the serialization guarantee mean this call
   // never actually blocks (high water is clamped to queue capacity).
+  if (cache_) {
+    // Parse + canonicalize + acquire here, under the admission mutex: that
+    // serialization is what makes every cache decision (hit/miss, eviction)
+    // independent of worker scheduling, so response bytes and cache.*
+    // metrics match a cache-off run and a single-threaded one. shared_ptr
+    // because std::function requires a copyable callable and CachedWork
+    // (the cache handle) is move-only; FIFO submission keeps a key's
+    // producer task queued before its waiters (no-deadlock guarantee).
+    if (auto work = batch::prepare_cached(line, *cache_)) {
+      auto shared = std::make_shared<batch::CachedWork>(std::move(*work));
+      pool_->submit([this, client, index, shared](std::size_t w) {
+        client->emitter.emit(
+            index, batch::process_cached(*shared, index, work_options_,
+                                         scratch_[w]));
+      });
+      SHAREDRES_OBS_GAUGE_SET_V("service.queue_depth",
+                                static_cast<std::int64_t>(pool_->pending()));
+      return;
+    }
+  }
   pool_->submit([this, client, index,
                  record = std::move(line)](std::size_t w) {
     client->emitter.emit(
@@ -180,6 +248,7 @@ ServiceSummary Service::finish() {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.drain_rejected = drain_rejected_.load(std::memory_order_relaxed);
   s.admit_errors = admit_errors_.load(std::memory_order_relaxed);
+  s.status_requests = status_requests_.load(std::memory_order_relaxed);
   s.responses = responses_.load(std::memory_order_relaxed);
   s.drained = true;
 
@@ -187,6 +256,9 @@ ServiceSummary Service::finish() {
   // per-record sums are identical at every thread count.
   obs::Registry merged(/*ring_capacity=*/1);
   for (const batch::WorkerScratch& sc : scratch_) merged.merge_from(sc.metrics);
+  // Cache decisions were serialized under the admission mutex, so these
+  // metrics are as order-deterministic as the admission stream itself.
+  if (cache_) cache_->export_metrics(merged);
   s.ok = merged.counter("batch.records_ok").value();
   s.failed = merged.counter("batch.records_failed").value();
   s.metrics = obs::deterministic_json(merged);
@@ -203,6 +275,7 @@ std::string Service::summary_line(const ServiceSummary& s) {
   doc.emplace("shed", s.shed);
   doc.emplace("drain_rejected", s.drain_rejected);
   doc.emplace("admit_errors", s.admit_errors);
+  doc.emplace("status_requests", s.status_requests);
   doc.emplace("ok", s.ok);
   doc.emplace("failed", s.failed);
   doc.emplace("responses", s.responses);

@@ -77,6 +77,16 @@ struct ServiceOptions {
   std::string journal_path;
   /// fsync(2) after every journal append (durability over throughput).
   bool journal_fsync = false;
+  /// > 0 enables the canonical-instance solve cache (src/cache), shared
+  /// across all client connections: repeat instances — equal up to the
+  /// canonical equivalence class — are served from the cached solve. The
+  /// admission mutex is the serialization point the cache's determinism
+  /// contract needs, so per-record response bytes stay identical to a
+  /// cache-off run (checked by scripts/test_service_determinism.sh) and the
+  /// summary grows deterministic cache.* metrics. 0 = off.
+  std::size_t cache_capacity = 0;
+  /// Shard count for the solve cache (clamped to the capacity).
+  std::size_t cache_shards = 8;
 };
 
 /// Totals for the final summary line the front end writes on clean drain.
@@ -87,6 +97,7 @@ struct ServiceSummary {
   std::uint64_t shed = 0;            ///< rejected: queue past high water
   std::uint64_t drain_rejected = 0;  ///< rejected: arrived while draining
   std::uint64_t admit_errors = 0;    ///< rejected: journal append failed
+  std::uint64_t status_requests = 0;  ///< health probes answered in place
   std::uint64_t ok = 0;              ///< admitted solves that succeeded
   std::uint64_t failed = 0;          ///< admitted solves with error lines
   std::uint64_t responses = 0;       ///< lines actually written to clients
@@ -130,7 +141,12 @@ class Service {
   [[nodiscard]] std::shared_ptr<Client> open_client(WriteLine write);
 
   /// Admit or reject one request line (see file comment). Blank lines are
-  /// skipped without a response, mirroring batch. Blocks only on queue
+  /// skipped without a response, mirroring batch. A `{"status":true}` line
+  /// is a health probe: it is answered immediately in place — queue depth,
+  /// admission totals, shed count, uptime — without touching the journal,
+  /// the cache, or the worker queue, and it is answered even while
+  /// draining (a probe is how an operator watches the drain). Blocks only
+  /// on queue
   /// backpressure (and never when shedding is enabled: the shed check,
   /// journal append, and enqueue run as one serialized admission step, so
   /// a request that passes the high-water check cannot find the queue full
@@ -175,10 +191,16 @@ class Service {
                std::string line);
   void reject(const std::shared_ptr<Client>& client, std::size_t index,
               const std::string& code, const std::string& message);
+  /// True iff `line` is a status probe; if so, emits the status response at
+  /// `index` on the client.
+  bool answer_status(const std::shared_ptr<Client>& client, std::size_t index,
+                     const std::string& line);
 
   ServiceOptions options_;
   batch::WorkOptions work_options_;
   std::optional<Journal> journal_;
+  std::optional<cache::SolveCache> cache_;
+  std::uint64_t start_ns_ = 0;  ///< steady-clock birth time for uptime_ms
   /// Deque, not vector: workers hold references to their slot while later
   /// slots are emplaced (same reasoning as pipeline.cpp).
   std::deque<batch::WorkerScratch> scratch_;
@@ -197,6 +219,7 @@ class Service {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> drain_rejected_{0};
   std::atomic<std::uint64_t> admit_errors_{0};
+  std::atomic<std::uint64_t> status_requests_{0};
   std::atomic<std::uint64_t> responses_{0};
 };
 

@@ -1,0 +1,97 @@
+#include "workloads/traffic.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/instance.hpp"
+#include "util/json.hpp"
+
+namespace sharedres::workloads {
+
+namespace {
+
+std::vector<core::Time> require_arrivals(const online::ArrivalConfig& arrivals,
+                                         std::size_t count) {
+  std::vector<core::Time> times = online::arrival_times(arrivals, count);
+  if (times.size() < count) {
+    throw std::invalid_argument(
+        "traffic: arrival process yields only " +
+        std::to_string(times.size()) + " of " + std::to_string(count) +
+        " arrivals (zero rate or horizon too short)");
+  }
+  return times;
+}
+
+/// splitmix64 finalizer — decorrelates per-request seeds derived from
+/// (stream seed, request index) without burning a full Rng stream each.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+online::OnlineInstance traffic_instance(const std::string& family,
+                                        const SosConfig& cfg,
+                                        const online::ArrivalConfig& arrivals) {
+  const core::Instance base = make_instance(family, cfg);
+  const std::vector<core::Time> times = require_arrivals(arrivals, base.size());
+
+  // Same trick as online_arrivals: a separate stream shuffles the arrival
+  // order so job shapes match the offline family exactly while arrival rank
+  // stays independent of the requirement sort.
+  util::Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<core::JobId> order(base.size());
+  for (core::JobId j = 0; j < base.size(); ++j) order[j] = j;
+  rng.shuffle(order);
+
+  online::OnlineInstance out;
+  out.machines = cfg.machines;
+  out.capacity = cfg.capacity;
+  out.jobs.reserve(base.size());
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    out.jobs.push_back(online::OnlineJob{times[k], base.job(order[k])});
+  }
+  return out;
+}
+
+std::vector<std::string> traffic_stream(const TrafficStreamConfig& cfg) {
+  const std::vector<core::Time> times =
+      require_arrivals(cfg.arrivals, cfg.requests);
+  std::vector<std::string> lines;
+  lines.reserve(cfg.requests);
+  for (std::size_t k = 0; k < cfg.requests; ++k) {
+    SosConfig per_request = cfg.sos;
+    per_request.seed = mix_seed(cfg.sos.seed, k);
+    const core::Instance instance = make_instance(cfg.family, per_request);
+
+    // format_instance_record's shape plus the "arrival" timestamp; jobs in
+    // the generator's original order (undo the instance sort).
+    std::vector<core::Job> original(instance.size());
+    for (core::JobId j = 0; j < instance.size(); ++j) {
+      original[instance.original_id(j)] = instance.job(j);
+    }
+    util::Json jobs{util::Json::Array{}};
+    for (const core::Job& job : original) {
+      util::Json pair{util::Json::Array{}};
+      pair.push_back(job.size);
+      pair.push_back(job.requirement);
+      jobs.push_back(std::move(pair));
+    }
+    util::Json doc{util::Json::Object{}};
+    doc.emplace("id", cfg.id_prefix + "-" + std::to_string(k));
+    doc.emplace("arrival", times[k]);
+    doc.emplace("machines", instance.machines());
+    doc.emplace("capacity", instance.capacity());
+    if (cfg.deadline_steps != 0) {
+      doc.emplace("deadline_steps", cfg.deadline_steps);
+    }
+    doc.emplace("jobs", std::move(jobs));
+    lines.push_back(doc.dump());
+  }
+  return lines;
+}
+
+}  // namespace sharedres::workloads

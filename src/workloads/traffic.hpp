@@ -1,0 +1,59 @@
+// Sustained-traffic workloads: arrival processes × job families
+// (DESIGN.md §14).
+//
+// Two views of the same traffic, both pure in their config:
+//
+//  * traffic_instance — one OnlineInstance whose releases follow a
+//    stochastic arrival process (online/arrivals.hpp) and whose jobs come
+//    from an offline family (sos_generators.hpp). Feed to the
+//    online::DynamicEngine for the deterministic simulation the E16 bench
+//    and the percentile gate run on.
+//
+//  * traffic_stream — the service-facing rendering: one NDJSON instance
+//    record per arrival, timestamped with an "arrival" step field, directly
+//    submittable to `sharedres_cli serve` (the solver ignores the field; the
+//    fast scanner skips it). The closed-loop load generator replays such a
+//    stream against the daemon's unix socket, pacing sends by arrival step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "online/arrivals.hpp"
+#include "online/online_model.hpp"
+#include "workloads/sos_generators.hpp"
+
+namespace sharedres::workloads {
+
+/// One OnlineInstance with cfg.jobs jobs: shapes drawn from `family` (same
+/// distributions as make_instance), releases from `arrivals` — one job per
+/// arrival, in an arrival order shuffled independently of the requirement
+/// sort (mirroring online_arrivals). Throws std::invalid_argument when the
+/// process cannot produce cfg.jobs arrivals (zero rate, or a horizon set in
+/// `arrivals` that cuts the stream short).
+[[nodiscard]] online::OnlineInstance traffic_instance(
+    const std::string& family, const SosConfig& cfg,
+    const online::ArrivalConfig& arrivals);
+
+/// Config of an NDJSON request stream: `requests` instance records, each a
+/// fresh `family` instance of sos.jobs jobs (per-record seeds derived from
+/// sos.seed), released on the arrival process's steps.
+struct TrafficStreamConfig {
+  std::string family = "uniform";
+  SosConfig sos;  ///< sos.jobs = jobs PER REQUEST; sos.seed = stream seed
+  online::ArrivalConfig arrivals;
+  std::size_t requests = 64;
+  std::string id_prefix = "req";  ///< record ids: "<prefix>-<k>"
+  std::uint64_t deadline_steps = 0;  ///< per-record budget; 0 = none
+};
+
+/// The request lines (no trailing newlines), one per arrival, in arrival
+/// order: {"id":"req-0","arrival":T,"machines":M,"capacity":C,"jobs":[...]}
+/// (+ "deadline_steps" when configured). Bit-identical for a fixed config.
+/// Throws std::invalid_argument when the process cannot produce `requests`
+/// arrivals.
+[[nodiscard]] std::vector<std::string> traffic_stream(
+    const TrafficStreamConfig& cfg);
+
+}  // namespace sharedres::workloads

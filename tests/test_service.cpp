@@ -659,5 +659,116 @@ TEST(ServiceSummaryLine, CarriesCountsAndDeterministicMetrics) {
       doc.at("metrics").at("counters").at("batch.records_ok").as_double(), 7);
 }
 
+TEST(ServiceCache, CachedAndUncachedServedBytesAreIdentical) {
+  // The determinism check of the serve-side solve cache: the same stream —
+  // duplicated so two thirds of the records are repeat instances — served
+  // with and without the cache must produce byte-identical responses, at
+  // every thread count, while actually hitting the cache.
+  std::vector<std::string> lines = request_lines(8);
+  const std::vector<std::string> once = lines;
+  lines.insert(lines.end(), once.begin(), once.end());
+  lines.insert(lines.end(), once.begin(), once.end());
+  for (const std::size_t threads : {1u, 4u}) {
+    std::vector<std::string> uncached, cached;
+    std::uint64_t hits = 0;
+    for (const std::size_t capacity : {0u, 64u}) {
+      ServiceOptions options;
+      options.threads = threads;
+      options.cache_capacity = capacity;
+      Service service(options);
+      CollectingSink sink;
+      auto client = service.open_client(sink.writer());
+      for (const std::string& line : lines) service.submit(client, line);
+      const ServiceSummary summary = service.finish();
+      EXPECT_EQ(summary.responses, lines.size());
+      if (capacity == 0) {
+        uncached = sink.snapshot();
+      } else {
+        cached = sink.snapshot();
+        hits = static_cast<std::uint64_t>(summary.metrics.at("counters")
+                                              .at("cache.hits")
+                                              .as_double());
+      }
+    }
+    EXPECT_EQ(cached, uncached) << "threads=" << threads;
+    EXPECT_EQ(hits, 16u) << "threads=" << threads;  // 2 of every 3 records
+  }
+}
+
+TEST(ServiceStatus, ProbeIsAnsweredInPlaceWithLiveCounts) {
+  const std::vector<std::string> lines = request_lines(5);
+  TempFile journal("status-probe");
+  ServiceOptions options;
+  options.threads = 2;
+  options.journal_path = journal.path;
+  Service service(options);
+  CollectingSink sink;
+  auto client = service.open_client(sink.writer());
+  for (const std::string& line : lines) service.submit(client, line);
+  service.submit(client, R"({"status":true})");
+  const ServiceSummary summary = service.finish();
+  // The probe counts as a request and a response but is never admitted —
+  // and never journaled (the journal holds exactly the admitted set).
+  EXPECT_EQ(summary.requests, 6u);
+  EXPECT_EQ(summary.admitted, 5u);
+  EXPECT_EQ(summary.status_requests, 1u);
+  EXPECT_EQ(summary.responses, 6u);
+  EXPECT_EQ(Journal::read_admitted(options.journal_path).lines.size(), 5u);
+  const auto got = sink.snapshot();
+  ASSERT_EQ(got.size(), 6u);
+  // Responses arrive in index order, so the probe's answer is the last line.
+  const util::Json doc = util::Json::parse(got.back());
+  EXPECT_TRUE(doc.at("status").as_bool());
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_FALSE(doc.at("draining").as_bool());
+  EXPECT_EQ(doc.at("index").as_double(), 5);
+  EXPECT_EQ(doc.at("requests").as_double(), 6);
+  EXPECT_EQ(doc.at("admitted").as_double(), 5);
+  EXPECT_EQ(doc.at("shed").as_double(), 0);
+  EXPECT_TRUE(doc.contains("queue_depth"));
+  EXPECT_TRUE(doc.contains("uptime_ms"));
+  // The summary line carries the probe count.
+  const util::Json sl = util::Json::parse(Service::summary_line(summary));
+  EXPECT_EQ(sl.at("status_requests").as_double(), 1);
+}
+
+TEST(ServiceStatus, ProbeStillAnsweredWhileDraining) {
+  ServiceOptions options;
+  Service service(options);
+  CollectingSink sink;
+  auto client = service.open_client(sink.writer());
+  service.begin_drain();
+  service.submit(client, request_lines(1)[0]);  // rejected: draining
+  service.submit(client, R"({"status":true})");  // still answered
+  const ServiceSummary summary = service.finish();
+  EXPECT_EQ(summary.drain_rejected, 1u);
+  EXPECT_EQ(summary.status_requests, 1u);
+  const auto got = sink.snapshot();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(util::Json::parse(got[0]).at("ok").as_bool());
+  const util::Json probe = util::Json::parse(got[1]);
+  EXPECT_TRUE(probe.at("ok").as_bool());
+  EXPECT_TRUE(probe.at("draining").as_bool());
+  EXPECT_EQ(probe.at("drain_rejected").as_double(), 1);
+}
+
+TEST(ServiceStatus, NonProbeStatusShapesTakeTheNormalPath) {
+  // Only a bool-true "status" is a probe; anything else flows through the
+  // solver and fails like any malformed record — exactly one typed line.
+  ServiceOptions options;
+  Service service(options);
+  CollectingSink sink;
+  auto client = service.open_client(sink.writer());
+  service.submit(client, R"({"status":false})");
+  service.submit(client, R"({"status":"up"})");
+  service.submit(client, R"({"id":"x","status":true)");  // invalid JSON
+  const ServiceSummary summary = service.finish();
+  EXPECT_EQ(summary.status_requests, 0u);
+  EXPECT_EQ(summary.failed, 3u);
+  for (const std::string& line : sink.snapshot()) {
+    EXPECT_FALSE(util::Json::parse(line).at("ok").as_bool()) << line;
+  }
+}
+
 }  // namespace
 }  // namespace sharedres::service

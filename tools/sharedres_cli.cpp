@@ -12,6 +12,9 @@
 //                          [--algorithm=...] [--threads=N] [--queue=N]
 //                          [--emit-schedules] [--cache[=N]]
 //                          [--out=results.ndjson]
+//   sharedres_cli serve    [--socket=path] [--cache[=N]] [...]
+//   sharedres_cli loadgen  --socket=path --requests=N --rate=R
+//                          [--process=poisson|bursty|diurnal] [...]
 //
 // `gen` writes a reproducible instance (or, with --count=N --format=ndjson,
 // a stream of N instances with seeds seed..seed+N-1, each identical to the
@@ -32,14 +35,22 @@
 //      instance, arithmetic overflow caused by input magnitudes)
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +66,7 @@
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
 #include "io/text_io.hpp"
+#include "online/arrivals.hpp"
 #include "sas/sas_bounds.hpp"
 #include "sas/sas_scheduler.hpp"
 #include "sas/weighted.hpp"
@@ -69,6 +81,7 @@
 #include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "workloads/sos_generators.hpp"
+#include "workloads/traffic.hpp"
 
 namespace {
 
@@ -83,7 +96,7 @@ constexpr int kExitInput = 3;
 int usage() {
   std::cerr
       << "usage: sharedres_cli "
-         "<gen|solve|validate|bounds|pack|sas|batch|serve|failpoints> "
+         "<gen|solve|validate|bounds|pack|sas|batch|serve|loadgen|failpoints> "
          "[--flags]\n"
          "  gen      --family=... --machines=M --jobs=N [--count=K "
          "--format=ndjson] [--out=f]\n"
@@ -101,7 +114,12 @@ int usage() {
          "  serve    [--socket=path] [--algorithm=...] [--threads=N] "
          "[--queue=N] [--shed-high-water=N] [--deadline-steps=N] "
          "[--deadline-ms=N] [--journal=path [--journal-fsync] [--replay]] "
-         "[--emit-schedules] [--max-connections=N]\n"
+         "[--emit-schedules] [--max-connections=N] [--cache[=N]]\n"
+         "  loadgen  --socket=path [--requests=N] [--rate=R] "
+         "[--process=poisson|bursty|diurnal] [--family=...] [--jobs=N] "
+         "[--machines=M] [--capacity=C] [--max-size=S] [--seed=S] "
+         "[--per-step=L] [--deadline-steps=N] [--window=W] "
+         "[--status-every=N] [--id-prefix=P] [--emit-stream=f] [--out=f]\n"
          "  failpoints --list\n"
          "global: --metrics-json=<file> dumps the observability registry\n"
          "        (src/obs) after any command, successful or not\n"
@@ -343,6 +361,18 @@ int cmd_serve(const util::Cli& cli) {
   options.emit_schedules = cli.has("emit-schedules");
   options.journal_path = cli.get("journal", "");
   options.journal_fsync = cli.has("journal-fsync");
+  if (cli.has("cache")) {
+    // Same spelling as batch: bare --cache selects the default capacity,
+    // --cache=N pins it, --cache=0 is explicit off. The cache is shared
+    // across all client connections (ServiceOptions::cache_capacity).
+    const std::int64_t capacity =
+        cli.get("cache", "") == "true" ? 1024 : cli.get_int("cache", 0);
+    if (capacity < 0) {
+      std::cerr << "serve: --cache must be >= 0\n";
+      return kExitUsage;
+    }
+    options.cache_capacity = static_cast<std::size_t>(capacity);
+  }
   const bool replay = cli.has("replay");
   const std::string socket_path = cli.get("socket", "");
   if (replay && options.journal_path.empty()) {
@@ -458,6 +488,309 @@ int cmd_serve(const util::Cli& cli) {
   std::cout << service::Service::summary_line(summary) << "\n";
   std::cout.flush();
   return kExitOk;
+}
+
+// ---- loadgen --------------------------------------------------------------
+//
+// Closed-loop load generator for the daemon (DESIGN.md §14): generates a
+// seed-deterministic traffic stream (workloads/traffic.hpp), paces it onto
+// the service's unix socket at a target request rate, and measures what the
+// service actually delivered — one typed response per request, classified
+// (ok / shed / deadline_exceeded / other error / status probe), with
+// p50/p95/p99 response latency over the data requests.
+//
+// Closed loop: at most --window requests are in flight at once; the writer
+// blocks until the reader frees a slot. That models clients that wait for
+// answers, keeps an overloaded daemon from absorbing an unbounded backlog
+// through socket buffers, and makes the measured latency a response time
+// (send → matching response) rather than a queue-drain artifact. The
+// per-connection ordering guarantee of the service makes response matching
+// positional: the i-th response line answers the i-th line sent.
+
+struct LoadgenOutcomes {
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t errors = 0;  ///< other typed error lines
+  std::uint64_t status = 0;  ///< status-probe responses
+};
+
+/// Nearest-rank percentile over ascending `sorted`: the smallest value with
+/// at least q·n observations at or below it (EXPERIMENTS.md E16).
+double percentile_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const auto idx = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+  return sorted[idx - 1];
+}
+
+int cmd_loadgen(const util::Cli& cli) {
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "loadgen: --socket=<path> required\n";
+    return kExitUsage;
+  }
+  workloads::TrafficStreamConfig stream_cfg;
+  stream_cfg.family = cli.get("family", "uniform");
+  stream_cfg.sos.machines = static_cast<int>(cli.get_int("machines", 8));
+  stream_cfg.sos.capacity = cli.get_int("capacity", 1'000'000);
+  stream_cfg.sos.jobs = static_cast<std::size_t>(cli.get_int("jobs", 24));
+  stream_cfg.sos.max_size = cli.get_int("max-size", 4);
+  stream_cfg.sos.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  stream_cfg.requests = static_cast<std::size_t>(cli.get_int("requests", 64));
+  stream_cfg.id_prefix = cli.get("id-prefix", "req");
+  const std::int64_t deadline_steps = cli.get_int("deadline-steps", 0);
+  // Arrival process shape. arrivals.rate is the mean per STEP (shape knob);
+  // --rate=R maps steps onto wall time so the long-run send rate is R
+  // requests/second. --rate=0 sends as fast as the window allows.
+  stream_cfg.arrivals.rate = cli.get_double("per-step", 1.0);
+  stream_cfg.arrivals.seed = stream_cfg.sos.seed ^ 0xa5a5a5a5a5a5a5a5ULL;
+  const double rate = cli.get_double("rate", 0.0);
+  const std::int64_t window = cli.get_int("window", 64);
+  const std::int64_t status_every = cli.get_int("status-every", 0);
+  if (stream_cfg.requests < 1 || window < 1 || deadline_steps < 0 ||
+      rate < 0.0 || status_every < 0) {
+    std::cerr << "loadgen: --requests/--window must be >= 1, "
+                 "--rate/--deadline-steps/--status-every >= 0\n";
+    return kExitUsage;
+  }
+  stream_cfg.deadline_steps = static_cast<std::uint64_t>(deadline_steps);
+  try {
+    stream_cfg.arrivals.kind =
+        online::parse_arrival_kind(cli.get("process", "poisson"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "loadgen: " << e.what() << "\n";
+    return kExitUsage;
+  }
+
+  const std::vector<std::string> lines =
+      workloads::traffic_stream(stream_cfg);  // invalid_argument -> exit 3
+  const std::string emit_stream = cli.get("emit-stream", "");
+  if (!emit_stream.empty()) {
+    std::ofstream f(emit_stream);
+    if (!f) {
+      std::cerr << "cannot open " << emit_stream << "\n";
+      return kExitInput;
+    }
+    for (const std::string& line : lines) f << line << "\n";
+  }
+
+  // Arrival step of each request (re-derived: the stream embeds it, but the
+  // config is authoritative and cheaper than re-parsing).
+  const std::vector<core::Time> steps =
+      online::arrival_times(stream_cfg.arrivals, stream_cfg.requests);
+  // step → wall seconds: mean per-step arrivals / target rate.
+  const double step_seconds =
+      rate > 0.0 ? stream_cfg.arrivals.rate / rate : 0.0;
+
+  ::signal(SIGPIPE, SIG_IGN);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw util::Error::io("loadgen: cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    std::cerr << "loadgen: socket path too long\n";
+    return kExitUsage;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw util::Error::io("loadgen: cannot connect to " + socket_path);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Clock::time_point> sent_at;  // guarded by mu
+  std::vector<double> data_latency_ms;     // reader-only until join
+  LoadgenOutcomes outcomes;                // reader-only until join
+  std::size_t received = 0;                // guarded by mu
+  bool peer_closed = false;                // guarded by mu
+
+  std::thread reader([&] {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+           nl = buf.find('\n', start)) {
+        const std::string line = buf.substr(start, nl - start);
+        start = nl + 1;
+        const Clock::time_point now = Clock::now();
+        Clock::time_point sent;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (received >= sent_at.size()) {
+            // More responses than requests: the one-response-per-request
+            // contract is broken. Count it and let the caller's totals
+            // expose the mismatch.
+            ++received;
+            cv.notify_all();
+            ++outcomes.errors;
+            continue;
+          }
+          sent = sent_at[received];
+          ++received;
+        }
+        cv.notify_all();
+        const double ms =
+            std::chrono::duration<double, std::milli>(now - sent).count();
+        bool is_status = false, is_ok = false;
+        std::string code;
+        try {
+          const util::Json doc = util::Json::parse(line);
+          is_status = doc.is_object() && doc.contains("status");
+          is_ok = doc.is_object() && doc.contains("ok") &&
+                  doc.at("ok").is_bool() && doc.at("ok").as_bool();
+          if (doc.is_object() && doc.contains("error") &&
+              doc.at("error").is_object() &&
+              doc.at("error").contains("code")) {
+            code = doc.at("error").at("code").as_string();
+          }
+        } catch (const util::Error&) {
+          // Unparseable response line: counted as an error below.
+        }
+        if (is_status) {
+          ++outcomes.status;
+        } else if (is_ok) {
+          ++outcomes.ok;
+          data_latency_ms.push_back(ms);
+        } else if (code == "shed") {
+          ++outcomes.shed;
+          data_latency_ms.push_back(ms);
+        } else if (code == "deadline_exceeded") {
+          ++outcomes.deadline;
+          data_latency_ms.push_back(ms);
+        } else {
+          ++outcomes.errors;
+          data_latency_ms.push_back(ms);
+        }
+      }
+      buf.erase(0, start);
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    peer_closed = true;
+    cv.notify_all();
+  });
+
+  const auto send_line = [&](const std::string& line) -> bool {
+    // Closed loop: wait for a window slot (or the peer dying).
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return peer_closed ||
+             sent_at.size() - received < static_cast<std::size_t>(window);
+    });
+    if (peer_closed) return false;
+    sent_at.push_back(Clock::now());
+    lock.unlock();
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::write(fd, framed.data() + off, framed.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  std::size_t sent_data = 0;
+  std::size_t sent_probes = 0;
+  bool send_failed = false;
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    if (step_seconds > 0.0) {
+      const auto due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(steps[k] - 1) * step_seconds));
+      std::this_thread::sleep_until(due);
+    }
+    if (!send_line(lines[k])) {
+      send_failed = true;
+      break;
+    }
+    ++sent_data;
+    if (status_every > 0 &&
+        sent_data % static_cast<std::size_t>(status_every) == 0) {
+      if (!send_line("{\"status\":true}")) {
+        send_failed = true;
+        break;
+      }
+      ++sent_probes;
+    }
+  }
+  // No more requests: close the write side so the daemon sees EOF on this
+  // connection once the in-flight tail drains.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return peer_closed || received >= sent_at.size(); });
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  reader.join();
+  ::close(fd);
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::sort(data_latency_ms.begin(), data_latency_ms.end());
+  const std::size_t sent_total = sent_data + sent_probes;
+  const std::uint64_t responses = outcomes.ok + outcomes.shed +
+                                  outcomes.deadline + outcomes.errors +
+                                  outcomes.status;
+  double sum = 0.0;
+  for (const double ms : data_latency_ms) sum += ms;
+
+  util::Json doc{util::Json::Object{}};
+  doc.emplace("loadgen", true);
+  doc.emplace("process", online::to_string(stream_cfg.arrivals.kind));
+  doc.emplace("family", stream_cfg.family);
+  doc.emplace("requests", static_cast<std::uint64_t>(sent_data));
+  doc.emplace("status_probes", static_cast<std::uint64_t>(sent_probes));
+  doc.emplace("responses", responses);
+  doc.emplace("ok", outcomes.ok);
+  doc.emplace("shed", outcomes.shed);
+  doc.emplace("deadline_exceeded", outcomes.deadline);
+  doc.emplace("errors", outcomes.errors);
+  doc.emplace("status_responses", outcomes.status);
+  doc.emplace("p50_ms", percentile_ms(data_latency_ms, 0.50));
+  doc.emplace("p95_ms", percentile_ms(data_latency_ms, 0.95));
+  doc.emplace("p99_ms", percentile_ms(data_latency_ms, 0.99));
+  doc.emplace("max_ms", data_latency_ms.empty() ? 0.0
+                                                : data_latency_ms.back());
+  doc.emplace("mean_ms", data_latency_ms.empty()
+                             ? 0.0
+                             : sum / static_cast<double>(
+                                         data_latency_ms.size()));
+  doc.emplace("duration_s", duration_s);
+  doc.emplace("achieved_rps",
+              duration_s > 0.0
+                  ? static_cast<double>(sent_data) / duration_s
+                  : 0.0);
+  doc.emplace("send_failed", send_failed);
+  // The acceptance criterion: every request got exactly one response.
+  const bool complete = !send_failed && responses == sent_total;
+  doc.emplace("complete", complete);
+
+  const std::string out_path = cli.get("out", "");
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return kExitInput;
+    }
+    f << doc.dump(2) << "\n";
+  }
+  std::cout << doc.dump() << "\n";
+  return complete ? kExitOk : kExitInfeasible;
 }
 
 // ---- failpoints -----------------------------------------------------------
@@ -767,6 +1100,7 @@ int main(int argc, char** argv) {
     if (command == "sas") rc = cmd_sas(cli);
     if (command == "batch") rc = cmd_batch(cli);
     if (command == "serve") rc = cmd_serve(cli);
+    if (command == "loadgen") rc = cmd_loadgen(cli);
     if (command == "failpoints") rc = cmd_failpoints(cli);
     if (rc >= 0) {
       maybe_save_metrics(cli);
