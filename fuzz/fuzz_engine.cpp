@@ -9,6 +9,13 @@
 //   * the validator: the emitted schedule must satisfy V1–V5 exactly;
 //   * the lower bound: makespan ≥ lower_bounds(inst).combined().
 //
+// schedule_improved runs through the same two oracles plus a third,
+// differential one: the portfolio picks the best of its candidates, so its
+// makespan may never exceed schedule_sos's on the same instance. Its
+// stepwise/fast-forward identity is checked too (the balanced engine's
+// absorber makes that path qualitatively different from the SoS window
+// engine's — see core/improved_engine.hpp).
+//
 // The input is valid by construction, so NO exception may escape: a throw,
 // an infeasible schedule, or a makespan below the lower bound each abort()
 // — that is the crash libFuzzer (or a corpus replay) reports.
@@ -17,6 +24,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/improved_scheduler.hpp"
 #include "core/instance.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
@@ -63,15 +71,27 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const core::Instance inst(machines, capacity, std::move(jobs));
   const core::Time bound = core::lower_bounds(inst).combined();
 
-  cross_check("sos", inst, core::schedule_sos(inst), bound);
+  const core::Schedule sos = core::schedule_sos(inst);
+  cross_check("sos", inst, sos, bound);
   // The fast-forwarded and stepwise forms promise identical schedules.
   core::SosOptions stepwise;
   stepwise.fast_forward = false;
-  if (core::schedule_sos(inst, stepwise) != core::schedule_sos(inst)) {
+  if (core::schedule_sos(inst, stepwise) != sos) {
     die("sos", "fast-forward and stepwise schedules differ");
   }
   if (unit) {
     cross_check("unit", inst, core::schedule_sos_unit(inst), bound);
+  }
+
+  const core::Schedule improved = core::schedule_improved(inst);
+  cross_check("improved", inst, improved, bound);
+  if (improved.makespan() > sos.makespan()) {
+    die("improved", "portfolio makespan exceeds schedule_sos");
+  }
+  core::ImprovedOptions improved_stepwise;
+  improved_stepwise.fast_forward = false;
+  if (core::schedule_improved(inst, improved_stepwise) != improved) {
+    die("improved", "fast-forward and stepwise schedules differ");
   }
   return 0;
 }

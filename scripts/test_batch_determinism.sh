@@ -93,6 +93,55 @@ if misses <= 0 or hits <= 0 or hits < 2 * misses:
              f"got hits={hits} misses={misses}")
 EOF
 
+# ---- the improved portfolio through the same gates -------------------------
+# --algorithm=improved runs three engines per record and keeps the best
+# schedule; the choice must stay byte-deterministic across thread counts and
+# across the solve cache (whose canonical twin exercises the engine's
+# scale-equivariance contract, DESIGN.md §15).
+
+run_improved() {  # run_improved <threads> <cache-flag> <out.ndjson>
+  SHAREDRES_THREADS=$1 "$CLI" batch --in="$TMP/dup.ndjson" \
+    --algorithm=improved --emit-schedules $2 > "$3" \
+    || fail "batch --algorithm=improved $2 (threads=$1) exited $?"
+}
+
+run_improved 1 ""        "$TMP/imp_t1.ndjson"
+run_improved 2 ""        "$TMP/imp_t2.ndjson"
+run_improved 8 ""        "$TMP/imp_t8.ndjson"
+run_improved 8 ""        "$TMP/imp_t8_again.ndjson"
+run_improved 1 "--cache" "$TMP/imp_c1.ndjson"
+run_improved 8 "--cache" "$TMP/imp_c8.ndjson"
+
+cmp -s "$TMP/imp_t1.ndjson" "$TMP/imp_t2.ndjson" \
+  || fail "improved batch output differs between SHAREDRES_THREADS=1 and 2"
+cmp -s "$TMP/imp_t1.ndjson" "$TMP/imp_t8.ndjson" \
+  || fail "improved batch output differs between SHAREDRES_THREADS=1 and 8"
+cmp -s "$TMP/imp_t8.ndjson" "$TMP/imp_t8_again.ndjson" \
+  || fail "improved batch output differs between identical reruns"
+cmp -s "$TMP/imp_c1.ndjson" "$TMP/imp_c8.ndjson" \
+  || fail "improved cached output differs between SHAREDRES_THREADS=1 and 8"
+
+for cached in "$TMP/imp_c1.ndjson"; do
+  sed '$d' "$TMP/imp_t1.ndjson" > "$TMP/imp_off.records"
+  sed '$d' "$cached" > "$TMP/imp_on.records"
+  cmp -s "$TMP/imp_off.records" "$TMP/imp_on.records" \
+    || fail "improved per-record output differs between cache off and on"
+done
+
+# Portfolio domination, record by record: the improved makespan never
+# exceeds the window scheduler's on the same input stream.
+python3 - "$TMP/imp_t1.ndjson" "$TMP/dup_off.ndjson" <<'EOF' || exit 1
+import json, sys
+improved = [json.loads(l) for l in open(sys.argv[1])][:-1]
+window = [json.loads(l) for l in open(sys.argv[2])][:-1]
+assert len(improved) == len(window), "record counts differ"
+for imp, win in zip(improved, window):
+    assert imp["ok"] and win["ok"], (imp, win)
+    if imp["makespan"] > win["makespan"]:
+        sys.exit(f"FAIL: record {imp['index']}: improved makespan "
+                 f"{imp['makespan']} > window {win['makespan']}")
+EOF
+
 # ---- record k <-> one-shot correspondence ----------------------------------
 K=7
 "$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=$((SEED + K)) \

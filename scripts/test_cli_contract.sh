@@ -71,6 +71,33 @@ expect "solve" 0 $?
   >/dev/null 2>&1
 expect "validate feasible" 0 $?
 
+# The improved portfolio (DESIGN.md §15) must honor the same contract: a
+# clean solve exits 0, its schedule validates, and its makespan never
+# exceeds the window scheduler's (portfolio domination).
+"$CLI" solve --instance="$tmp/inst.txt" --algorithm=improved \
+  --out="$tmp/sched-improved.txt" > "$tmp/solve-improved.out" 2>&1
+expect "solve --algorithm=improved" 0 $?
+
+"$CLI" validate --instance="$tmp/inst.txt" \
+  --schedule="$tmp/sched-improved.txt" >/dev/null 2>&1
+expect "validate improved schedule" 0 $?
+
+improved_mk=$(sed -n 's/^makespan: *//p' "$tmp/solve-improved.out")
+window_mk=$("$CLI" solve --instance="$tmp/inst.txt" --algorithm=window 2>&1 |
+  sed -n 's/^makespan: *//p')
+if [ -n "$improved_mk" ] && [ -n "$window_mk" ] &&
+   [ "$improved_mk" -le "$window_mk" ]; then
+  echo "ok: improved makespan $improved_mk <= window $window_mk"
+else
+  echo "FAIL: improved makespan '$improved_mk' vs window '$window_mk'"
+  fail=1
+fi
+
+# --parallel stays a unit-engine-only flag.
+"$CLI" solve --instance="$tmp/inst.txt" --algorithm=improved --parallel=2 \
+  >/dev/null 2>&1
+expect "solve improved rejects --parallel" 2 $?
+
 "$CLI" validate --instance="$tmp/inst.txt" --schedule="$tmp/sched.txt" \
   --json > "$tmp/ok.json" 2>/dev/null
 expect "validate feasible --json" 0 $?
@@ -131,6 +158,19 @@ expect "gen --format=ndjson" 0 $?
 expect "batch all records ok" 0 $?
 grep -q '"summary":true,"records":5,"ok":5,"failed":0' "$tmp/results.ndjson" || {
   echo 'FAIL: batch summary line lacks the expected counts'
+  fail=1
+}
+
+"$CLI" batch --in="$tmp/stream.ndjson" --algorithm=improved \
+  > "$tmp/results-improved.ndjson" 2>/dev/null
+expect "batch --algorithm=improved all records ok" 0 $?
+grep -q '"summary":true,"records":5,"ok":5,"failed":0' \
+  "$tmp/results-improved.ndjson" || {
+  echo 'FAIL: improved batch summary line lacks the expected counts'
+  fail=1
+}
+grep -q '"algorithm":"improved"' "$tmp/results-improved.ndjson" || {
+  echo 'FAIL: improved batch records lack "algorithm":"improved"'
   fail=1
 }
 

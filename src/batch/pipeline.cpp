@@ -35,8 +35,8 @@ bool blank(const std::string& line) {
 BatchSummary run_batch(std::istream& in, std::ostream& out,
                        const BatchOptions& options) {
   const std::string& a = options.algorithm;
-  if (a != "window" && a != "unit" && a != "gg" && a != "equalsplit" &&
-      a != "sequential") {
+  if (a != "window" && a != "unit" && a != "improved" && a != "gg" &&
+      a != "equalsplit" && a != "sequential") {
     throw util::Error::cli("algorithm", "unknown algorithm '" + a + "'");
   }
 

@@ -46,6 +46,54 @@ void solve_into(const core::Instance& inst, const std::string& algorithm,
       scratch.unit.emplace(inst);
     }
     scratch.unit->run(scratch.schedule);
+  } else if (algorithm == "improved") {
+    if (inst.machines() < 2) {
+      throw util::Error::invalid_instance(
+          "algorithm 'improved' requires machines >= 2");
+    }
+    if (inst.empty()) return;
+    // The improved portfolio (core/improved_scheduler.hpp) through the
+    // worker's reusable engines: balanced engine first, then the window
+    // scheduler — and the unit variant where it applies — as the floor.
+    // Strict `<` keeps ties on the balanced schedule, matching
+    // core::schedule_improved exactly.
+    const core::ImprovedEngine::Params params{
+        .machine_cap = static_cast<std::size_t>(inst.machines()),
+        .budget = inst.capacity(),
+    };
+    if (scratch.improved) {
+      scratch.improved->reset(inst, params);
+    } else {
+      scratch.improved.emplace(inst, params);
+    }
+    scratch.improved->run(scratch.schedule);
+    scratch.alt_schedule.reset();
+    const core::SosEngine::Params window_params{
+        .window_cap = static_cast<std::size_t>(inst.machines() - 1),
+        .budget = inst.capacity(),
+        .allow_extra_job = true,
+    };
+    if (scratch.sos) {
+      scratch.sos->reset(inst, window_params);
+    } else {
+      scratch.sos.emplace(inst, window_params);
+    }
+    scratch.sos->run(scratch.alt_schedule);
+    if (scratch.alt_schedule.makespan() < scratch.schedule.makespan()) {
+      std::swap(scratch.schedule, scratch.alt_schedule);
+    }
+    if (inst.unit_size()) {
+      scratch.alt_schedule.reset();
+      if (scratch.unit) {
+        scratch.unit->reset(inst);
+      } else {
+        scratch.unit.emplace(inst);
+      }
+      scratch.unit->run(scratch.alt_schedule);
+      if (scratch.alt_schedule.makespan() < scratch.schedule.makespan()) {
+        std::swap(scratch.schedule, scratch.alt_schedule);
+      }
+    }
   } else if (algorithm == "gg") {
     scratch.schedule = baselines::schedule_garey_graham(inst);
   } else if (algorithm == "equalsplit") {

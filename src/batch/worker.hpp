@@ -23,6 +23,7 @@
 #include "batch/stream.hpp"
 #include "cache/canonical.hpp"
 #include "cache/solve_cache.hpp"
+#include "core/improved_engine.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "core/sos_engine.hpp"
@@ -42,7 +43,11 @@ namespace sharedres::batch {
 struct alignas(util::kCacheLineSize) WorkerScratch {
   std::optional<core::SosEngine> sos;
   std::optional<core::UnitEngine> unit;
+  std::optional<core::ImprovedEngine> improved;
   core::Schedule schedule;
+  /// Runner-up schedule of the 'improved' portfolio (worker.cpp); kept here
+  /// so its block storage is reused across records like `schedule`'s.
+  core::Schedule alt_schedule;
   obs::Registry metrics{/*ring_capacity=*/1};
 };
 
@@ -50,7 +55,8 @@ struct alignas(util::kCacheLineSize) WorkerScratch {
 /// ServiceOptions that the worker needs, decoupled so the two front ends
 /// can share it.
 struct WorkOptions {
-  /// window | unit | gg | equalsplit | sequential. Callers validate.
+  /// window | unit | improved | gg | equalsplit | sequential. Callers
+  /// validate.
   std::string algorithm = "window";
   /// Embed each feasible schedule (io::write_schedule text) in its result
   /// line under "schedule".

@@ -1,0 +1,65 @@
+#include "core/improved_scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/improved_engine.hpp"
+#include "core/sos_scheduler.hpp"
+#include "obs/registry.hpp"
+
+namespace sharedres::core {
+
+Schedule schedule_improved(const Instance& instance,
+                           const ImprovedOptions& options) {
+  if (instance.machines() < 2) {
+    throw std::invalid_argument(
+        "schedule_improved requires m >= 2 (use baselines::schedule_sequential "
+        "for a single machine)");
+  }
+  Schedule out;
+  if (instance.empty()) return out;
+
+  ImprovedEngine engine(
+      instance,
+      ImprovedEngine::Params{
+          .machine_cap = static_cast<std::size_t>(instance.machines()),
+          .budget = instance.capacity(),
+      });
+  engine.run(out, options.fast_forward);
+
+  // Portfolio floor: the window scheduler (and, for unit instances, its
+  // unit-size variant) caps the makespan at the proven bounds. Strict `<`
+  // keeps ties on the balanced schedule, so the choice is deterministic and
+  // invariant under the solve cache's uniform resource scaling (makespans
+  // are unchanged by it).
+  const SosOptions sos_options{.fast_forward = options.fast_forward};
+  Schedule window = schedule_sos(instance, sos_options);
+  int winner = 0;
+  if (window.makespan() < out.makespan()) {
+    out = std::move(window);
+    winner = 1;
+  }
+  if (instance.unit_size()) {
+    Schedule unit = schedule_sos_unit(instance, sos_options);
+    if (unit.makespan() < out.makespan()) {
+      out = std::move(unit);
+      winner = 2;
+    }
+  }
+  switch (winner) {
+    case 0: SHAREDRES_OBS_COUNT("engine.improved.portfolio.balanced"); break;
+    case 1: SHAREDRES_OBS_COUNT("engine.improved.portfolio.window"); break;
+    default: SHAREDRES_OBS_COUNT("engine.improved.portfolio.unit"); break;
+  }
+  return out;
+}
+
+util::Rational improved_ratio_bound(int machines) {
+  // The portfolio's makespan is ≤ schedule_sos's on every instance, so
+  // Theorem 3.3's bound is inherited verbatim.
+  return sos_ratio_bound(machines);
+}
+
+util::Rational improved_target_ratio() { return util::Rational(3, 2); }
+
+}  // namespace sharedres::core

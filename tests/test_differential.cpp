@@ -6,6 +6,11 @@
 //    (validate_all: zero violations, not just first-failure), Theorem 3.3
 //    |S| <= (2 + 1/(m-2)) * |OPT| for m >= 3 (m = 2: feasibility only),
 //    the unit bound |S| <= m/(m-1) * |OPT| + 1, and Eq. (1) LB <= OPT.
+//    The improved portfolio (DESIGN.md §15) rides the same grid: clean,
+//    >= OPT, <= the window schedule, and within the inherited ratio.
+//  * ImprovedFamilySanity — the improved portfolio on every generator
+//    family at production capacity: validator-clean and sandwiched between
+//    the Eq. (1) lower bound and the window scheduler's makespan.
 //  * SasDifferentialSweep — the Section-4 scheduler against
 //    exact_sas_sum_completion: sas::validate-clean, Theorem 4.8
 //    sum <= (2 + 4/(m-3)) * OPT + k, and Lemma 4.3 LB <= OPT.
@@ -30,6 +35,7 @@
 
 #include "binpack/packers.hpp"
 #include "binpack/packing.hpp"
+#include "core/improved_scheduler.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
@@ -109,6 +115,26 @@ TEST_P(DifferentialSweep, UnitEngineWithinUnitRatioOfExactOptimum) {
   EXPECT_LE(Rational(approx),
             core::unit_ratio_bound(m) * Rational(*opt) + Rational(1))
       << "m=" << m << " approx=" << approx << " OPT=" << *opt;
+}
+
+TEST_P(DifferentialSweep, ImprovedSchedulerWithinInheritedRatioOfExactOptimum) {
+  const Instance inst = make(/*max_size=*/2);
+  const auto opt = opt_makespan(inst);
+  if (!opt.has_value()) GTEST_SKIP() << "exact search exceeded state limit";
+
+  const core::Schedule schedule = core::schedule_improved(inst);
+  expect_clean(inst, schedule);
+  const Time approx = schedule.makespan();
+  ASSERT_GE(approx, *opt);
+  // Portfolio domination: never worse than the window scheduler, so the
+  // Theorem 3.3 ratio carries over verbatim (m >= 3).
+  EXPECT_LE(approx, core::schedule_sos(inst).makespan());
+  const int m = inst.machines();
+  if (m >= 3) {
+    EXPECT_LE(Rational(approx),
+              core::improved_ratio_bound(m) * Rational(*opt))
+        << "m=" << m << " approx=" << approx << " OPT=" << *opt;
+  }
 }
 
 TEST_P(DifferentialSweep, EnginesAgreeWithStepwiseExecution) {
@@ -284,6 +310,47 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(param_info.param)) + "_n" +
              std::to_string(std::get<2>(param_info.param)) + "_s" +
              std::to_string(std::get<3>(param_info.param));
+    });
+
+// ---- Improved portfolio on every generator family ---------------------------
+
+/// (family, machines, seed): every make_instance family at the generators'
+/// production capacity (10^6 units), beyond the exact solver's reach — the
+/// correctness gates here are the validator and the Eq. (1) sandwich.
+using FamilySanityParam = std::tuple<std::string, int, std::uint64_t>;
+
+class ImprovedFamilySanity
+    : public ::testing::TestWithParam<FamilySanityParam> {};
+
+TEST_P(ImprovedFamilySanity, ValidatorCleanAndSandwichedByBounds) {
+  const auto [family, machines, seed] = GetParam();
+  workloads::SosConfig cfg;
+  cfg.machines = machines;
+  cfg.jobs = 96;
+  cfg.max_size = 4;
+  cfg.seed = seed;
+  const Instance inst = workloads::make_instance(family, cfg);
+
+  const core::Schedule schedule = core::schedule_improved(inst);
+  const core::ValidationReport report = core::validate_all(inst, schedule, 16);
+  EXPECT_TRUE(report.ok()) << family << ": " << report.violations.size()
+                           << " violation(s), first: "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front().detail);
+  EXPECT_GE(schedule.makespan(), core::lower_bounds(inst).combined());
+  EXPECT_LE(schedule.makespan(), core::schedule_sos(inst).makespan());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ImprovedFamilySanity,
+    ::testing::Combine(::testing::ValuesIn(workloads::instance_families()),
+                       ::testing::Values(2, 5, 12),
+                       ::testing::Values(41u, 42u)),
+    [](const ::testing::TestParamInfo<FamilySanityParam>& param_info) {
+      return std::get<0>(param_info.param) + "_m" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -4,7 +4,8 @@
 //                          [--capacity=1000000] [--max-size=4] [--seed=1]
 //                          [--count=N --format=ndjson] [--out=inst.txt]
 //   sharedres_cli solve    --instance=inst.txt
-//                          [--algorithm=window|unit|gg|equalsplit|sequential]
+//                          [--algorithm=window|unit|improved|gg|equalsplit|
+//                           sequential]
 //                          [--out=sched.txt] [--gantt]
 //   sharedres_cli validate --instance=inst.txt --schedule=sched.txt [--json]
 //   sharedres_cli bounds   --instance=inst.txt
@@ -63,6 +64,7 @@
 #include "binpack/packers.hpp"
 #include "core/lower_bounds.hpp"
 #include "obs/json_export.hpp"
+#include "core/improved_scheduler.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
 #include "io/text_io.hpp"
@@ -100,7 +102,8 @@ int usage() {
          "[--flags]\n"
          "  gen      --family=... --machines=M --jobs=N [--count=K "
          "--format=ndjson] [--out=f]\n"
-         "  solve    --instance=f [--algorithm=window|unit|gg|equalsplit|"
+         "  solve    --instance=f [--algorithm=window|unit|improved|gg|"
+         "equalsplit|"
          "sequential] [--parallel=N] [--gantt] [--stats] [--svg=f.svg] "
          "[--out=f]\n"
          "  validate --instance=f --schedule=f [--json] [--max-violations=N]\n"
@@ -230,8 +233,8 @@ int cmd_batch(const util::Cli& cli) {
   // run_batch re-validates, but an unknown algorithm is a usage error here
   // (exit 2), before any input is touched — same policy as `solve`.
   if (options.algorithm != "window" && options.algorithm != "unit" &&
-      options.algorithm != "gg" && options.algorithm != "equalsplit" &&
-      options.algorithm != "sequential") {
+      options.algorithm != "improved" && options.algorithm != "gg" &&
+      options.algorithm != "equalsplit" && options.algorithm != "sequential") {
     std::cerr << "batch: unknown --algorithm=" << options.algorithm << "\n";
     return kExitUsage;
   }
@@ -331,8 +334,8 @@ int cmd_serve(const util::Cli& cli) {
   service::ServiceOptions options;
   options.algorithm = cli.get("algorithm", "window");
   if (options.algorithm != "window" && options.algorithm != "unit" &&
-      options.algorithm != "gg" && options.algorithm != "equalsplit" &&
-      options.algorithm != "sequential") {
+      options.algorithm != "improved" && options.algorithm != "gg" &&
+      options.algorithm != "equalsplit" && options.algorithm != "sequential") {
     std::cerr << "serve: unknown --algorithm=" << options.algorithm << "\n";
     return kExitUsage;
   }
@@ -820,7 +823,8 @@ int cmd_solve(const util::Cli& cli) {
   // Validate flags before touching the filesystem: a typo in --algorithm is
   // a usage error (exit 2) even when the instance file is also bad.
   const std::string algorithm = cli.get("algorithm", "window");
-  if (algorithm != "window" && algorithm != "unit" && algorithm != "gg" &&
+  if (algorithm != "window" && algorithm != "unit" &&
+      algorithm != "improved" && algorithm != "gg" &&
       algorithm != "equalsplit" && algorithm != "sequential") {
     std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
     return kExitUsage;
@@ -851,6 +855,8 @@ int cmd_solve(const util::Cli& cli) {
       options.parallel_min_jobs = 0;
     }
     schedule = core::schedule_sos_unit(inst, options);
+  } else if (algorithm == "improved") {
+    schedule = core::schedule_improved(inst);
   } else if (algorithm == "gg") {
     schedule = baselines::schedule_garey_graham(inst);
   } else if (algorithm == "equalsplit") {
