@@ -1,0 +1,212 @@
+// E18 — d-resource scheduling: the rigid multires engine across the
+// d-resource generator families, dimensions d ∈ {1, 2, 3}, and machine
+// counts, plus an exact-optimum round against the rigid search at tiny n.
+//
+// Round 1 (families): for each family × d × m × seed, schedule_multires
+// runs both fast-forwarded and stepwise on the same generated instance.
+// Differential gates (hard failures, not table entries): the schedule must
+// pass the validator — including the per-axis V3 checks — and the two run
+// modes must agree on the makespan (the engine contract). Each cell
+// reports the worst makespan/lower-bound ratio over the seeds plus the
+// summed makespans; the d-dimensional lower bound (per-axis resource
+// maxima) is the denominator.
+//
+// Round 2 (exact): tiny coarse-grid d > 1 instances where the exact rigid
+// search (exact::exact_multires_makespan) terminates; ratios are against
+// the true rigid optimum, and greedy < OPT aborts (one of the two is
+// wrong). d = 1 is excluded here: the facade delegates to the sharable
+// window scheduler, which may legitimately beat the RIGID optimum — that
+// relationship is pinned in tests/test_multires_differential.cpp instead.
+//
+// All ratios are integer parts-per-million (makespan·10^6 / bound,
+// truncated): exact integer arithmetic over seeded PRNG draws, so every
+// figure is a pure function of the configuration. The same figures are
+// exported as DETERMINISTIC gauges (multires.<family>.d<D>.m<M>.* and
+// multires.exact.d<D>.*). CI runs this bench at SHAREDRES_THREADS 1/2/8
+// and requires the deterministic blocks to be exactly equal
+// (scripts/check_bench_regression.py --equal-across), then compares
+// against the checked-in baseline — the table in EXPERIMENTS.md E18 is
+// this bench's output.
+//
+// The shape to expect: correlated cells sit close to the lower bound (one
+// axis is binding, the rest are slack — the rigid packer sees an almost
+// 1-d problem); anticorrelated cells ride higher because the bound's
+// per-axis maxima ignore the pairing constraint the engine actually faces;
+// vmpack sits between. Ratios drift up slightly with d (more axes, looser
+// bound), which is the expected gap of a per-axis bound, not an engine
+// regression.
+//
+// Usage: bench_multires [--jobs=N] [--seeds=K] [--capacity=C]
+//                       [--reps=R] [--csv] [--json-dir=DIR]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/multires_scheduler.hpp"
+#include "core/validator.hpp"
+#include "exact/exact_multires.hpp"
+#include "harness.hpp"
+#include "obs/registry.hpp"
+#include "util/checked.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "workloads/multires_generators.hpp"
+
+namespace {
+
+using namespace sharedres;
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "bench_multires: %s\n", what.c_str());
+  std::exit(1);
+}
+
+/// makespan·10^6 / bound, truncated — exact integer arithmetic.
+std::int64_t ratio_ppm(core::Time makespan, core::Time bound) {
+  if (bound <= 0) die("nonpositive bound in ratio");
+  return util::mul_checked(static_cast<std::int64_t>(makespan),
+                           std::int64_t{1'000'000}) /
+         static_cast<std::int64_t>(bound);
+}
+
+std::string ppm_str(std::int64_t ppm) {
+  return util::fixed(static_cast<double>(ppm) / 1e6, 4);
+}
+
+/// Schedule `inst` both ways, enforce the bench's differential gates
+/// (validator-clean, stepwise ≡ fast-forward), return the makespan.
+core::Time contest(const core::Instance& inst, const std::string& cell) {
+  const core::Schedule fast = core::schedule_multires(inst);
+  const auto check = core::validate(inst, fast);
+  if (!check.ok) die(cell + ": infeasible schedule: " + check.error);
+  const core::Schedule slow =
+      core::schedule_multires(inst, {.fast_forward = false});
+  if (slow.makespan() != fast.makespan()) {
+    die(cell + ": stepwise makespan " + std::to_string(slow.makespan()) +
+        " != fast-forward " + std::to_string(fast.makespan()));
+  }
+  return fast.makespan();
+}
+
+/// Worst ratio and summed makespan over a seed sweep.
+struct CellScore {
+  std::int64_t worst_ppm = 0;
+  core::Time makespan_sum = 0;
+
+  void absorb(core::Time makespan, core::Time bound) {
+    worst_ppm = std::max(worst_ppm, ratio_ppm(makespan, bound));
+    makespan_sum = util::add_checked(makespan_sum, makespan);
+  }
+};
+
+void publish(const std::string& prefix, const CellScore& score) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge(prefix + ".worst_ratio_ppm").set(score.worst_ppm);
+  reg.gauge(prefix + ".makespan_sum").set(score.makespan_sum);
+}
+
+/// Tiny coarse-grid d-resource instance for the exact round: requirements
+/// on a grid of kCapacity so the event tree stays enumerable.
+core::Instance tiny_multires(std::size_t resources, std::uint64_t seed) {
+  constexpr core::Res kCapacity = 12;
+  constexpr std::size_t kJobs = 6;
+  util::Rng rng(seed * 7919ULL + resources);
+  std::vector<core::MultiJob> jobs(kJobs);
+  for (core::MultiJob& job : jobs) {
+    job.size = rng.uniform_int(1, 3);
+    job.requirements.resize(resources);
+    for (std::size_t k = 0; k < resources; ++k) {
+      job.requirements[k] = rng.uniform_int(1, kCapacity);
+    }
+  }
+  return core::Instance(3, std::vector<core::Res>(resources, kCapacity),
+                        std::move(jobs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sharedres;
+  const util::Cli cli(argc, argv);
+  bench::Harness h(cli, "bench_multires",
+                   "E18 d-resource scheduling: rigid multires engine vs "
+                   "d-dimensional lower bound and exact rigid optimum");
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 40));
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
+  const auto capacity = static_cast<core::Res>(cli.get_int("capacity", 360));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 1));
+  const int machine_counts[] = {4, 8};
+  const std::size_t dims[] = {1, 2, 3};
+
+  util::Table table({"family", "d", "m", "worst ratio", "sum makespan"});
+  for (const std::string& family : workloads::multires_families()) {
+    // One timed label per family (the d × m × seed sweep inside), so the
+    // baseline's invocation check keys on the family list alone.
+    h.measure(family, reps, [&] {
+      for (const std::size_t resources : dims) {
+        for (const int machines : machine_counts) {
+          CellScore score;
+          for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+            workloads::MultiResConfig cfg;
+            cfg.machines = machines;
+            cfg.resources = resources;
+            cfg.capacity = capacity;
+            cfg.jobs = jobs;
+            cfg.max_size = 3;
+            cfg.seed = seed;
+            const core::Instance inst =
+                workloads::make_multires_instance(family, cfg);
+            const core::Time bound = core::lower_bounds(inst).combined();
+            const std::string cell =
+                family + "/d" + std::to_string(resources) + "/m" +
+                std::to_string(machines) + "/seed" + std::to_string(seed);
+            score.absorb(contest(inst, cell), bound);
+          }
+          table.add(family, resources, machines, ppm_str(score.worst_ppm),
+                    score.makespan_sum);
+          publish("multires." + family + ".d" + std::to_string(resources) +
+                      ".m" + std::to_string(machines),
+                  score);
+        }
+      }
+    }, static_cast<double>(jobs * seeds * std::size(machine_counts) *
+                           std::size(dims)));
+  }
+
+  // Round 2: exact rigid optimum at tiny n, d > 1 only (file comment).
+  util::Table exact_table({"d", "worst ratio vs OPT", "sum makespan",
+                           "sum OPT"});
+  h.measure("exact", reps, [&] {
+    for (const std::size_t resources : {std::size_t{2}, std::size_t{3}}) {
+      CellScore score;
+      core::Time opt_sum = 0;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const core::Instance inst = tiny_multires(resources, seed);
+        const auto opt = exact::exact_multires_makespan(inst);
+        if (!opt) die("exact search exceeded its state budget at tiny n");
+        opt_sum = util::add_checked(opt_sum, *opt);
+        const std::string cell = "exact/d" + std::to_string(resources) +
+                                 "/seed" + std::to_string(seed);
+        const core::Time makespan = contest(inst, cell);
+        if (makespan < *opt) {
+          die(cell + ": greedy makespan below the exact rigid optimum");
+        }
+        score.absorb(makespan, *opt);
+      }
+      exact_table.add(resources, ppm_str(score.worst_ppm),
+                      score.makespan_sum, opt_sum);
+      publish("multires.exact.d" + std::to_string(resources), score);
+    }
+  }, static_cast<double>(2 * seeds));
+
+  h.section(
+      "E18  d-resource: worst makespan/LB ratio per family x d x m "
+      "(seeds pooled)");
+  h.table(table);
+  h.section("E18  Exact round: worst makespan/OPT ratio at tiny n (d > 1)");
+  h.table(exact_table);
+  return h.finish();
+}

@@ -142,6 +142,60 @@ for imp, win in zip(improved, window):
                  f"{imp['makespan']} > window {win['makespan']}")
 EOF
 
+# ---- the d-resource facade through the same gates --------------------------
+# --algorithm=multires on a d=2 stream: byte-identical across thread counts
+# and reruns, and cache-on per-record lines equal to cache-off (the d>1
+# canonical key + per-axis de-scaling path, DESIGN.md §16).
+
+"$CLI" gen --family=correlated --resources=2 --machines=6 --jobs=40 \
+  --seed=$SEED --count=$COUNT --format=ndjson \
+  --out="$TMP/stream-d2.ndjson" > /dev/null \
+  || fail "gen --resources=2 --format=ndjson exited $?"
+cat "$TMP/stream-d2.ndjson" "$TMP/stream-d2.ndjson" "$TMP/stream-d2.ndjson" \
+  > "$TMP/dup-d2.ndjson"
+
+run_multires() {  # run_multires <threads> <cache-flag> <out.ndjson>
+  SHAREDRES_THREADS=$1 "$CLI" batch --in="$TMP/dup-d2.ndjson" \
+    --algorithm=multires --emit-schedules $2 > "$3" \
+    || fail "batch --algorithm=multires $2 (threads=$1) exited $?"
+}
+
+run_multires 1 ""        "$TMP/mr_t1.ndjson"
+run_multires 2 ""        "$TMP/mr_t2.ndjson"
+run_multires 8 ""        "$TMP/mr_t8.ndjson"
+run_multires 8 ""        "$TMP/mr_t8_again.ndjson"
+run_multires 1 "--cache" "$TMP/mr_c1.ndjson"
+run_multires 8 "--cache" "$TMP/mr_c8.ndjson"
+
+cmp -s "$TMP/mr_t1.ndjson" "$TMP/mr_t2.ndjson" \
+  || fail "multires batch output differs between SHAREDRES_THREADS=1 and 2"
+cmp -s "$TMP/mr_t1.ndjson" "$TMP/mr_t8.ndjson" \
+  || fail "multires batch output differs between SHAREDRES_THREADS=1 and 8"
+cmp -s "$TMP/mr_t8.ndjson" "$TMP/mr_t8_again.ndjson" \
+  || fail "multires batch output differs between identical reruns"
+cmp -s "$TMP/mr_c1.ndjson" "$TMP/mr_c8.ndjson" \
+  || fail "multires cached output differs between SHAREDRES_THREADS=1 and 8"
+
+sed '$d' "$TMP/mr_t1.ndjson" > "$TMP/mr_off.records"
+sed '$d' "$TMP/mr_c1.ndjson" > "$TMP/mr_on.records"
+cmp -s "$TMP/mr_off.records" "$TMP/mr_on.records" \
+  || fail "multires per-record output differs between cache off and on"
+
+# d=1 conservative-extension pin through the real binary: on a single-axis
+# stream the multires facade delegates to the window scheduler, so the
+# per-record lines must be byte-identical up to the algorithm tag.
+SHAREDRES_THREADS=8 "$CLI" batch --in="$TMP/stream.ndjson" \
+  --algorithm=multires --emit-schedules > "$TMP/mr_d1.ndjson" \
+  || fail "batch --algorithm=multires on a d=1 stream exited $?"
+SHAREDRES_THREADS=8 "$CLI" batch --in="$TMP/stream.ndjson" \
+  --algorithm=window --emit-schedules > "$TMP/win_d1.ndjson" \
+  || fail "batch --algorithm=window exited $?"
+sed '$d' "$TMP/mr_d1.ndjson" | \
+  sed 's/"algorithm":"multires"/"algorithm":"window"/' > "$TMP/mr_d1.records"
+sed '$d' "$TMP/win_d1.ndjson" > "$TMP/win_d1.records"
+cmp -s "$TMP/mr_d1.records" "$TMP/win_d1.records" \
+  || fail "multires d=1 records differ from the window scheduler's"
+
 # ---- record k <-> one-shot correspondence ----------------------------------
 K=7
 "$CLI" gen --family=uniform --machines=6 --jobs=60 --seed=$((SEED + K)) \

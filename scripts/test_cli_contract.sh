@@ -93,6 +93,48 @@ else
   fail=1
 fi
 
+# ---- d-resource generalization (DESIGN.md §16) -----------------------------
+"$CLI" gen --resources=0 >/dev/null 2>&1
+expect "gen --resources=0" 2 $?
+
+"$CLI" gen --resources=9 >/dev/null 2>&1
+expect "gen --resources above kMaxResources" 2 $?
+
+"$CLI" gen --family=correlated --resources=2 --machines=4 --jobs=16 --seed=5 \
+  --out="$tmp/inst-d2.txt" >/dev/null 2>&1
+expect "gen --resources=2" 0 $?
+grep -q '^# sharedres instance v2$' "$tmp/inst-d2.txt" || {
+  echo 'FAIL: d=2 instance file lacks the v2 header'
+  fail=1
+}
+
+"$CLI" solve --instance="$tmp/inst-d2.txt" --algorithm=multires \
+  --out="$tmp/sched-d2.txt" >/dev/null 2>&1
+expect "solve --algorithm=multires (d=2)" 0 $?
+
+"$CLI" validate --instance="$tmp/inst-d2.txt" --schedule="$tmp/sched-d2.txt" \
+  >/dev/null 2>&1
+expect "validate multires schedule" 0 $?
+
+# d=1 is a conservative extension: the multires facade delegates to the
+# window scheduler, so the makespans must be identical.
+multires_mk=$("$CLI" solve --instance="$tmp/inst.txt" --algorithm=multires \
+  2>&1 | sed -n 's/^makespan: *//p')
+if [ -n "$multires_mk" ] && [ "$multires_mk" = "$window_mk" ]; then
+  echo "ok: multires d=1 makespan $multires_mk == window $window_mk"
+else
+  echo "FAIL: multires d=1 makespan '$multires_mk' vs window '$window_mk'"
+  fail=1
+fi
+
+# Rigid d>1 scheduling rejects a job whose secondary requirement exceeds
+# that axis's capacity: typed input error, not a crash.
+printf '# sharedres instance v2\nmachines 2\nresources 2\ncapacity 10 4\njobs 1\njob 2 3 5\n' \
+  > "$tmp/oversize-d2.txt"
+"$CLI" solve --instance="$tmp/oversize-d2.txt" --algorithm=multires \
+  >/dev/null 2>&1
+expect "solve multires oversized secondary requirement" 3 $?
+
 # --parallel stays a unit-engine-only flag.
 "$CLI" solve --instance="$tmp/inst.txt" --algorithm=improved --parallel=2 \
   >/dev/null 2>&1

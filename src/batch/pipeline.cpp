@@ -36,7 +36,7 @@ BatchSummary run_batch(std::istream& in, std::ostream& out,
                        const BatchOptions& options) {
   const std::string& a = options.algorithm;
   if (a != "window" && a != "unit" && a != "improved" && a != "gg" &&
-      a != "equalsplit" && a != "sequential") {
+      a != "equalsplit" && a != "sequential" && a != "multires") {
     throw util::Error::cli("algorithm", "unknown algorithm '" + a + "'");
   }
 

@@ -59,7 +59,8 @@
 namespace sharedres::batch {
 
 struct BatchOptions {
-  /// window | unit | gg | equalsplit | sequential (the solve command's
+  /// window | unit | gg | equalsplit | sequential | multires (the solve
+  /// command's
   /// algorithm names). Validated by run_batch (util::Error, kCliUsage).
   std::string algorithm = "window";
   /// Worker threads; <= 1 runs fully inline on the caller thread (no pool,

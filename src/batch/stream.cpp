@@ -198,13 +198,66 @@ InstanceRecord parse_instance_record(const std::string& line) {
       machines > std::numeric_limits<int>::max()) {
     bad("machines out of range");
   }
-  const std::int64_t capacity = require_int(doc.at("capacity"), "capacity");
 
   std::int64_t deadline_steps = 0;
   if (doc.contains("deadline_steps")) {
     deadline_steps = require_int(doc.at("deadline_steps"), "deadline_steps");
     if (deadline_steps < 0) bad("deadline_steps must be >= 0");
   }
+
+  // d-resource form: {"machines", "capacities": [C_0..C_{d-1}],
+  // "requirements": [[r_0..r_{d-1}] per job], "sizes": [p per job]?}.
+  // sizes defaults to all-1. Mixing with the classic capacity/jobs keys is
+  // rejected — a record is one form or the other.
+  const bool multires =
+      doc.contains("capacities") || doc.contains("requirements");
+  if (multires) {
+    if (doc.contains("capacity") || doc.contains("jobs")) {
+      bad("capacities/requirements cannot be mixed with capacity/jobs");
+    }
+    if (!doc.contains("capacities")) bad("requirements without capacities");
+    if (!doc.contains("requirements")) bad("capacities without requirements");
+    const util::Json& caps = doc.at("capacities");
+    if (!caps.is_array() || caps.size() == 0) {
+      bad("capacities must be a non-empty array");
+    }
+    std::vector<core::Res> capacities;
+    capacities.reserve(caps.size());
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      capacities.push_back(require_int(caps.at(k), "capacity"));
+    }
+    const util::Json& reqs = doc.at("requirements");
+    if (!reqs.is_array()) bad("requirements must be an array");
+    std::vector<core::MultiJob> parsed(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const util::Json& row = reqs.at(i);
+      if (!row.is_array() || row.size() != capacities.size()) {
+        bad("requirements[" + std::to_string(i) + "] must list one value per "
+            "resource");
+      }
+      parsed[i].requirements.reserve(row.size());
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        parsed[i].requirements.push_back(
+            require_int(row.at(k), "job requirement"));
+      }
+    }
+    if (doc.contains("sizes")) {
+      const util::Json& sizes = doc.at("sizes");
+      if (!sizes.is_array() || sizes.size() != parsed.size()) {
+        bad("sizes must list one value per job");
+      }
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        parsed[i].size = require_int(sizes.at(i), "job size");
+      }
+    }
+    return InstanceRecord{
+        std::move(record_id),
+        core::Instance(static_cast<int>(machines), std::move(capacities),
+                       std::move(parsed)),
+        static_cast<std::uint64_t>(deadline_steps)};
+  }
+
+  const std::int64_t capacity = require_int(doc.at("capacity"), "capacity");
 
   const util::Json& jobs = doc.at("jobs");
   if (!jobs.is_array()) bad("jobs must be an array");
@@ -230,6 +283,36 @@ InstanceRecord parse_instance_record(const std::string& line) {
 
 std::string format_instance_record(const core::Instance& instance,
                                    const std::string& id) {
+  if (instance.resource_count() > 1) {
+    // d-resource form (parse_instance_record's multires branch), jobs in the
+    // caller's original order like the classic form below.
+    const std::size_t d = instance.resource_count();
+    std::vector<std::size_t> sorted_of(instance.size());
+    for (core::JobId j = 0; j < instance.size(); ++j) {
+      sorted_of[instance.original_id(j)] = j;
+    }
+    util::Json caps{util::Json::Array{}};
+    for (std::size_t k = 0; k < d; ++k) caps.push_back(instance.capacity(k));
+    util::Json sizes{util::Json::Array{}};
+    util::Json reqs{util::Json::Array{}};
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const core::JobId j = sorted_of[i];
+      sizes.push_back(instance.job(j).size);
+      util::Json row{util::Json::Array{}};
+      for (std::size_t k = 0; k < d; ++k) {
+        row.push_back(instance.requirement(j, k));
+      }
+      reqs.push_back(std::move(row));
+    }
+    util::Json doc{util::Json::Object{}};
+    if (!id.empty()) doc.emplace("id", id);
+    doc.emplace("machines", instance.machines());
+    doc.emplace("capacities", std::move(caps));
+    doc.emplace("sizes", std::move(sizes));
+    doc.emplace("requirements", std::move(reqs));
+    return doc.dump();
+  }
+
   // Undo the instance's sort so format∘parse round-trips the caller's order.
   std::vector<core::Job> original(instance.size());
   for (core::JobId j = 0; j < instance.size(); ++j) {

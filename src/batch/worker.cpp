@@ -94,6 +94,51 @@ void solve_into(const core::Instance& inst, const std::string& algorithm,
         std::swap(scratch.schedule, scratch.alt_schedule);
       }
     }
+  } else if (algorithm == "multires") {
+    if (inst.machines() < 2) {
+      throw util::Error::invalid_instance(
+          "algorithm 'multires' requires machines >= 2");
+    }
+    if (inst.empty()) return;
+    if (inst.resource_count() == 1) {
+      // Mirror core::schedule_multires exactly: at d = 1 it delegates to the
+      // window scheduler, so the worker reuses the same engine and params.
+      const core::SosEngine::Params params{
+          .window_cap = static_cast<std::size_t>(inst.machines() - 1),
+          .budget = inst.capacity(),
+          .allow_extra_job = true,
+      };
+      if (scratch.sos) {
+        scratch.sos->reset(inst, params);
+      } else {
+        scratch.sos.emplace(inst, params);
+      }
+      scratch.sos->run(scratch.schedule);
+      return;
+    }
+    // Same fit precondition (and error text) as the facade: rigid
+    // d-resource scheduling runs every job at full rate.
+    for (std::size_t k = 0; k < inst.resource_count(); ++k) {
+      const core::Res* reqs = inst.axis_requirements(k);
+      for (std::size_t j = 0; j < inst.size(); ++j) {
+        if (reqs[j] > inst.capacity(k)) {
+          throw util::Error::invalid_instance(
+              "job " + std::to_string(j) + ": requirement " +
+              std::to_string(reqs[j]) + " for resource " + std::to_string(k) +
+              " exceeds its capacity " + std::to_string(inst.capacity(k)) +
+              " (rigid d-resource scheduling runs every job at full rate)");
+        }
+      }
+    }
+    const core::MultiResEngine::Params params{
+        .machine_cap = static_cast<std::size_t>(inst.machines()),
+    };
+    if (scratch.multires) {
+      scratch.multires->reset(inst, params);
+    } else {
+      scratch.multires.emplace(inst, params);
+    }
+    scratch.multires->run(scratch.schedule);
   } else if (algorithm == "gg") {
     scratch.schedule = baselines::schedule_garey_graham(inst);
   } else if (algorithm == "equalsplit") {

@@ -25,6 +25,7 @@
 #include "cache/solve_cache.hpp"
 #include "core/improved_engine.hpp"
 #include "core/instance.hpp"
+#include "core/multires_engine.hpp"
 #include "core/schedule.hpp"
 #include "core/sos_engine.hpp"
 #include "core/unit_engine.hpp"
@@ -44,6 +45,7 @@ struct alignas(util::kCacheLineSize) WorkerScratch {
   std::optional<core::SosEngine> sos;
   std::optional<core::UnitEngine> unit;
   std::optional<core::ImprovedEngine> improved;
+  std::optional<core::MultiResEngine> multires;
   core::Schedule schedule;
   /// Runner-up schedule of the 'improved' portfolio (worker.cpp); kept here
   /// so its block storage is reused across records like `schedule`'s.
@@ -55,8 +57,8 @@ struct alignas(util::kCacheLineSize) WorkerScratch {
 /// ServiceOptions that the worker needs, decoupled so the two front ends
 /// can share it.
 struct WorkOptions {
-  /// window | unit | improved | gg | equalsplit | sequential. Callers
-  /// validate.
+  /// window | unit | improved | gg | equalsplit | sequential | multires.
+  /// Callers validate.
   std::string algorithm = "window";
   /// Embed each feasible schedule (io::write_schedule text) in its result
   /// line under "schedule".

@@ -1,5 +1,6 @@
 #include "cache/canonical.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <numeric>
@@ -62,6 +63,25 @@ std::uint64_t hash_lane(const std::vector<std::uint8_t>& bytes,
   return mix64(h ^ static_cast<std::uint64_t>(bytes.size()));
 }
 
+/// True iff two sorted jobs tie on (r_0, p) while differing on a secondary
+/// axis anywhere in the instance. Sorted order makes (r_0, p) groups
+/// contiguous, so adjacent comparison suffices.
+bool has_secondary_ties(const core::Instance& instance) {
+  const std::size_t n = instance.size();
+  const std::size_t d = instance.resource_count();
+  for (std::size_t j = 1; j < n; ++j) {
+    const core::Job& a = instance.job(j - 1);
+    const core::Job& b = instance.job(j);
+    if (a.requirement != b.requirement || a.size != b.size) continue;
+    for (std::size_t k = 1; k < d; ++k) {
+      if (instance.requirement(j - 1, k) != instance.requirement(j, k)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Hash128 hash_bytes(const std::vector<std::uint8_t>& bytes) {
@@ -70,30 +90,74 @@ Hash128 hash_bytes(const std::vector<std::uint8_t>& bytes) {
 }
 
 CanonicalForm canonicalize(const core::Instance& instance) {
-  // g = gcd(C, r_1, …, r_n); with no jobs this is C itself, so the empty
-  // instance normalizes to capacity 1 for every source capacity.
-  core::Res g = instance.capacity();
-  for (const core::Job& job : instance.jobs()) {
-    g = std::gcd(g, job.requirement);
+  const std::size_t n = instance.size();
+  const std::size_t d = instance.resource_count();
+
+  // Per-axis g_k = gcd(C_k, r_{1,k}, …, r_{n,k}); with no jobs this is C_k
+  // itself, so the empty instance normalizes to capacity 1 on every axis.
+  std::vector<core::Res> scales(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    core::Res g = instance.capacity(k);
+    const core::Res* reqs = instance.axis_requirements(k);
+    for (std::size_t j = 0; j < n; ++j) g = std::gcd(g, reqs[j]);
+    scales[k] = g;
   }
 
-  // Serialize straight from the source's sorted jobs, dividing by g on the
-  // fly. Dividing every requirement by the same g preserves the canonical
-  // total order, so this byte sequence IS the reduced instance's
+  // Canonical secondary-axis order: content-sorted on the normalized
+  // (capacity, requirement column) descriptor, so axis-permuted sources
+  // serialize identically. Skipped when (r_0, p)-tied jobs differ on a
+  // secondary axis — reordering axes would reorder those jobs (the instance
+  // sort key includes the secondary axes) and the canonical job order would
+  // no longer be the source's sorted order (file comment of the header).
+  std::vector<std::uint8_t> order(d);
+  std::iota(order.begin(), order.end(), std::uint8_t{0});
+  if (d > 1 && !has_secondary_ties(instance)) {
+    const auto axis_less = [&](std::uint8_t a, std::uint8_t b) {
+      const core::Res ca = instance.capacity(a) / scales[a];
+      const core::Res cb = instance.capacity(b) / scales[b];
+      if (ca != cb) return ca < cb;
+      const core::Res* ra = instance.axis_requirements(a);
+      const core::Res* rb = instance.axis_requirements(b);
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::Res va = ra[j] / scales[a];
+        const core::Res vb = rb[j] / scales[b];
+        if (va != vb) return va < vb;
+      }
+      return false;
+    };
+    std::stable_sort(order.begin() + 1, order.end(), axis_less);
+  }
+
+  // Serialize straight from the source's sorted jobs, dividing each axis by
+  // its g on the fly. Dividing a whole axis by a common factor preserves the
+  // canonical total order, so this byte sequence IS the reduced instance's
   // serialization: canonical job j is source (sorted) job j.
-  CanonicalForm form{g, {}, {}};
-  form.key.resize(2 + 8 * (3 + 2 * instance.size()));
+  CanonicalForm form;
+  form.scale = scales[0];
+  form.axis_order = order;
+  form.axis_scales.resize(d);
+  for (std::size_t k = 0; k < d; ++k) form.axis_scales[k] = scales[order[k]];
+  form.key.resize(2 + 8 * (1 + d + 1 + n * (1 + d)));
   std::uint8_t* out = form.key.data();
   *out++ = kKeyFormatVersion;
-  *out++ = 1;  // resource dimensions (multi-resource extension)
+  *out++ = static_cast<std::uint8_t>(d);
   put_u64(out, static_cast<std::uint64_t>(instance.machines()));
-  put_u64(out + 8, static_cast<std::uint64_t>(instance.capacity() / g));
-  put_u64(out + 16, static_cast<std::uint64_t>(instance.size()));
-  out += 24;
-  for (const core::Job& job : instance.jobs()) {
-    put_u64(out, static_cast<std::uint64_t>(job.size));
-    put_u64(out + 8, static_cast<std::uint64_t>(job.requirement / g));
-    out += 16;
+  out += 8;
+  for (std::size_t k = 0; k < d; ++k) {
+    put_u64(out, static_cast<std::uint64_t>(instance.capacity(order[k]) /
+                                            scales[order[k]]));
+    out += 8;
+  }
+  put_u64(out, static_cast<std::uint64_t>(n));
+  out += 8;
+  for (std::size_t j = 0; j < n; ++j) {
+    put_u64(out, static_cast<std::uint64_t>(instance.job(j).size));
+    out += 8;
+    for (std::size_t k = 0; k < d; ++k) {
+      put_u64(out, static_cast<std::uint64_t>(
+                       instance.requirement(j, order[k]) / scales[order[k]]));
+      out += 8;
+    }
   }
   form.hash = hash_bytes(form.key);
   return form;
@@ -102,20 +166,39 @@ CanonicalForm canonicalize(const core::Instance& instance) {
 core::Instance CanonicalForm::instance() const {
   // Inverse of the serializer above; the Instance constructor's sort is the
   // identity permutation on a decoded key (the jobs were serialized in
-  // canonical order), so this is a straight O(n) rebuild plus validation.
+  // canonical order), so this is a straight O(n·d) rebuild plus validation.
   const std::uint8_t* in = key.data();
+  const std::size_t d = key[1];
   const auto machines = static_cast<int>(read_u64(in + 2));
-  const auto capacity = static_cast<core::Res>(read_u64(in + 10));
-  const auto count = static_cast<std::size_t>(read_u64(in + 18));
-  in += 26;
-  std::vector<core::Job> jobs;
-  jobs.reserve(count);
-  for (std::size_t j = 0; j < count; ++j) {
-    jobs.push_back(core::Job{static_cast<core::Res>(read_u64(in)),
-                             static_cast<core::Res>(read_u64(in + 8))});
-    in += 16;
+  in += 10;
+  std::vector<core::Res> capacities(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    capacities[k] = static_cast<core::Res>(read_u64(in));
+    in += 8;
   }
-  return core::Instance(machines, capacity, std::move(jobs));
+  const auto count = static_cast<std::size_t>(read_u64(in));
+  in += 8;
+  if (d == 1) {
+    std::vector<core::Job> jobs;
+    jobs.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      jobs.push_back(core::Job{static_cast<core::Res>(read_u64(in)),
+                               static_cast<core::Res>(read_u64(in + 8))});
+      in += 16;
+    }
+    return core::Instance(machines, capacities[0], std::move(jobs));
+  }
+  std::vector<core::MultiJob> jobs(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    jobs[j].size = static_cast<core::Res>(read_u64(in));
+    in += 8;
+    jobs[j].requirements.resize(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      jobs[j].requirements[k] = static_cast<core::Res>(read_u64(in));
+      in += 8;
+    }
+  }
+  return core::Instance(machines, std::move(capacities), std::move(jobs));
 }
 
 core::Schedule decanonicalize_schedule(const core::Schedule& canonical,

@@ -43,8 +43,105 @@ Instance::Instance(int machines, Res capacity, std::vector<Job> jobs)
   for (const std::size_t idx : original_) sorted.push_back(jobs_[idx]);
   jobs_ = std::move(sorted);
 
+  build_primary_arrays();
+  capacities_ = {capacity_};
+  axis_totals_ = {total_requirement_};
+}
+
+Instance::Instance(int machines, std::vector<Res> capacities,
+                   std::vector<MultiJob> jobs)
+    : machines_(machines) {
+  const std::size_t d = capacities.size();
+  if (machines_ < 1) throw util::Error::invalid_instance("machines < 1");
+  if (d < 1) {
+    throw util::Error::invalid_instance("no resources: capacities is empty");
+  }
+  if (d > kMaxResources) {
+    throw util::Error::invalid_instance(
+        "resource count " + std::to_string(d) + " exceeds the supported "
+        "maximum of " + std::to_string(kMaxResources));
+  }
+  for (std::size_t k = 0; k < d; ++k) {
+    if (capacities[k] < 1) {
+      throw util::Error::invalid_instance("resource " + std::to_string(k) +
+                                          ": capacity < 1");
+    }
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].size < 1) {
+      throw util::Error::invalid_instance("job " + std::to_string(j) +
+                                          ": size < 1");
+    }
+    if (jobs[j].requirements.size() != d) {
+      throw util::Error::invalid_instance(
+          "job " + std::to_string(j) + ": expected " + std::to_string(d) +
+          " requirements, got " + std::to_string(jobs[j].requirements.size()));
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      if (jobs[j].requirements[k] < 1) {
+        throw util::Error::invalid_instance(
+            "job " + std::to_string(j) + ": requirement for resource " +
+            std::to_string(k) + " < 1");
+      }
+    }
+  }
+
+  // Canonical total order, extended for d axes: (r_0, p, r_1, …, r_{d-1})
+  // lexicographic, stable. At d = 1 this is exactly the classic comparator,
+  // so single-axis MultiJob instances are bit-identical to classic ones; the
+  // secondary-axis tie-break keeps job-permutation invariance exact for the
+  // solve cache at d > 1 (full-key ties are fully identical rows).
+  const std::size_t n = jobs.size();
+  original_.resize(n);
+  std::iota(original_.begin(), original_.end(), std::size_t{0});
+  std::stable_sort(original_.begin(), original_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const MultiJob& ja = jobs[a];
+                     const MultiJob& jb = jobs[b];
+                     if (ja.requirements[0] != jb.requirements[0]) {
+                       return ja.requirements[0] < jb.requirements[0];
+                     }
+                     if (ja.size != jb.size) return ja.size < jb.size;
+                     for (std::size_t k = 1; k < d; ++k) {
+                       if (ja.requirements[k] != jb.requirements[k]) {
+                         return ja.requirements[k] < jb.requirements[k];
+                       }
+                     }
+                     return false;
+                   });
+
+  jobs_.reserve(n);
+  for (const std::size_t idx : original_) {
+    jobs_.push_back(Job{jobs[idx].size, jobs[idx].requirements[0]});
+  }
+  extra_requirements_.resize((d - 1) * n);
+  for (std::size_t k = 1; k < d; ++k) {
+    Res* column = extra_requirements_.data() + (k - 1) * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      column[j] = jobs[original_[j]].requirements[k];
+    }
+  }
+
+  capacity_ = capacities[0];
+  resource_count_ = d;
+  capacities_ = std::move(capacities);
+
+  build_primary_arrays();
+  axis_totals_.assign(d, 0);
+  axis_totals_[0] = total_requirement_;
+  for (std::size_t k = 1; k < d; ++k) {
+    const Res* column = axis_requirements(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      axis_totals_[k] = util::add_checked(
+          axis_totals_[k], util::mul_checked(sizes_[j], column[j]));
+    }
+  }
+}
+
+void Instance::build_primary_arrays() {
   for (const Job& j : jobs_) {
-    total_requirement_ = util::add_checked(total_requirement_, j.total_requirement());
+    total_requirement_ =
+        util::add_checked(total_requirement_, j.total_requirement());
     total_size_ = util::add_checked(total_size_, j.size);
     unit_size_ = unit_size_ && j.size == 1;
   }

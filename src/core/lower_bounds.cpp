@@ -28,6 +28,29 @@ LowerBounds lower_bounds(const Instance& instance) {
     lb.longest_job =
         std::max(lb.longest_job, util::ceil_div(job.total_requirement(), intake));
   }
+
+  // d-resource generalization: every axis yields the same two bound shapes
+  // (validator.hpp V3 — a job consumes ≥ share · r_{j,k} / r_{j,0} of axis k
+  // per step, so over a whole schedule axis k must deliver Σ_j p_j · r_{j,k}
+  // at ≤ C_k per step, and one job's per-step axis-k intake is capped by
+  // min(r_{j,k}, C_k)). The maxima over axes are still valid lower bounds,
+  // and the k = 0 terms are exactly the classic values, so at d = 1 nothing
+  // below runs and the bounds reduce to the 1-resource ones.
+  for (std::size_t k = 1; k < instance.resource_count(); ++k) {
+    const Res axis_total = instance.axis_total_requirement(k);
+    const Res axis_cap = instance.capacity(k);
+    lb.resource = std::max(lb.resource, util::ceil_div(axis_total, axis_cap));
+    lb.resource_exact =
+        std::max(lb.resource_exact, util::Rational(axis_total, axis_cap));
+    const Res* reqs = instance.axis_requirements(k);
+    const std::vector<Res>& sizes = instance.sizes();
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      const Res intake = std::min(reqs[j], axis_cap);
+      lb.longest_job = std::max(
+          lb.longest_job,
+          util::ceil_div(util::mul_checked(sizes[j], reqs[j]), intake));
+    }
+  }
   return lb;
 }
 

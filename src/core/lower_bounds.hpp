@@ -33,8 +33,12 @@ struct LowerBounds {
   [[nodiscard]] util::Rational combined_exact() const;
 };
 
-/// Compute all lower bounds; O(n). Valid even for the preemptive relaxation
-/// (paper, below Eq. (1)), hence also valid for the bin-packing view.
+/// Compute all lower bounds; O(n·d). Valid even for the preemptive
+/// relaxation (paper, below Eq. (1)), hence also valid for the bin-packing
+/// view. On d-resource instances each bound is the maximum of its per-axis
+/// instantiation (resource: ⌈Σ_j p_j·r_{j,k} / C_k⌉; longest job:
+/// ⌈p_j·r_{j,k} / min(r_{j,k}, C_k)⌉), which reduces exactly to the
+/// 1-resource bounds at d = 1.
 [[nodiscard]] LowerBounds lower_bounds(const Instance& instance);
 
 }  // namespace sharedres::core

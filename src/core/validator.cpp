@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "util/checked.hpp"
 
 namespace sharedres::core {
 
@@ -59,6 +60,12 @@ void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
   const std::size_t n = instance.size();
   const Res capacity = instance.capacity();
   const auto m = static_cast<std::size_t>(instance.machines());
+  const std::size_t axes = instance.resource_count();
+
+  // Per-axis consumption accumulators for the d-resource generalization
+  // (axis k ≥ 1 of V3); untouched on classic 1-resource instances.
+  std::vector<Res> axis_used(axes > 1 ? axes - 1 : 0);
+  std::vector<bool> axis_overflowed(axis_used.size());
 
   // Per job: block-index interval of presence and accumulated credit.
   constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
@@ -88,6 +95,8 @@ void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
     }
     Res used = 0;
     bool used_overflowed = false;
+    std::fill(axis_used.begin(), axis_used.end(), Res{0});
+    std::fill(axis_overflowed.begin(), axis_overflowed.end(), false);
     for (std::size_t slot = 0; slot < b.assignments.size(); ++slot) {
       const Assignment& a = b.assignments[slot];
       const int machine = static_cast<int>(slot);
@@ -124,6 +133,21 @@ void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
         used = util::add_checked(used, a.share);
       } catch (const util::OverflowError&) {
         used_overflowed = true;
+      }
+      if (axes > 1 && a.share > 0) {
+        // Side-axis consumption ⌈share · r_{j,k} / r_{j,0}⌉ (validator.hpp
+        // V3). Adversarial magnitudes overflow the product; flag per axis
+        // and report overuse below, mirroring the primary-axis handling.
+        for (std::size_t k = 1; k < axes; ++k) {
+          try {
+            const Res eaten = util::ceil_div(
+                util::mul_checked(a.share, instance.requirement(a.job, k)),
+                job.requirement);
+            axis_used[k - 1] = util::add_checked(axis_used[k - 1], eaten);
+          } catch (const util::OverflowError&) {
+            axis_overflowed[k - 1] = true;
+          }
+        }
       }
 
       if (first_block[a.job] == kUnseen) {
@@ -164,6 +188,23 @@ void scan(const Instance& instance, const Schedule& schedule, Sink& sink) {
       if (!sink.add({ViolationCode::kResourceOveruse, step, bi, kNoJob, -1,
                      os.str()})) {
         return;
+      }
+    }
+    for (std::size_t k = 1; k < axes; ++k) {
+      if (axis_overflowed[k - 1] || axis_used[k - 1] > instance.capacity(k)) {
+        std::ostringstream os;
+        if (axis_overflowed[k - 1]) {
+          os << "block " << bi << " overuses resource " << k
+             << ": consumption overflows 64 bits (capacity "
+             << instance.capacity(k) << ")";
+        } else {
+          os << "block " << bi << " overuses resource " << k << ": "
+             << axis_used[k - 1] << " > " << instance.capacity(k);
+        }
+        if (!sink.add({ViolationCode::kResourceOveruse, step, bi, kNoJob, -1,
+                       os.str()})) {
+          return;
+        }
       }
     }
     step += std::max<Time>(b.length, 0);

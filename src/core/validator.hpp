@@ -3,7 +3,13 @@
 // A schedule is feasible for an instance iff:
 //  (V1) every assignment names a valid job with 0 < share ≤ min(r_j, C);
 //  (V2) no step runs the same job twice, nor more than m jobs;
-//  (V3) the resource is never overused: Σ shares ≤ C in every step;
+//  (V3) no resource is ever overused. Shares are primary-axis units, and a
+//       job granted x of its primary requirement r_{j,0} consumes
+//       ⌈x · r_{j,k} / r_{j,0}⌉ units of every further axis k (exact at full
+//       rate and trivially at d = 1, conservative in between — partial
+//       progress cannot round a side requirement down to nothing). Feasible
+//       means Σ_j shares ≤ C on the primary axis and
+//       Σ_j ⌈x_j · r_{j,k} / r_{j,0}⌉ ≤ C_k on every axis k ≥ 1, per step;
 //  (V4) non-preemption / no migration: each job's processing steps form one
 //       contiguous interval (machines are identical, so "≤ m concurrent jobs"
 //       plus contiguity is exactly machine-feasibility);
@@ -37,7 +43,7 @@ enum class ViolationCode {
   kShareAboveCapacity,       ///< share > C (V1)
   kDuplicateJob,             ///< job scheduled twice in one block (V2)
   kPreemption,               ///< job's presence interval not contiguous (V4)
-  kResourceOveruse,          ///< Σ shares > C in a block (V3)
+  kResourceOveruse,          ///< Σ consumption > C_k on some axis in a block (V3)
   kCreditMismatch,           ///< credited units != p_j · r_j (V5)
   kCreditOverflow,           ///< credit bookkeeping overflowed 64 bits
 };

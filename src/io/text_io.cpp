@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -86,15 +87,27 @@ class Reader {
   }
 
   void expect_header(const std::string& kind) {
+    (void)expect_header_version(kind, 1);
+  }
+
+  /// As expect_header, but accepts any version 1..max_version and returns
+  /// it (the instance format grew a v2 for d-resource instances; every
+  /// other kind is still v1-only and keeps its historical error text).
+  int expect_header_version(const std::string& kind, int max_version) {
     std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
       SHAREDRES_OBS_COUNT("io.lines_read");
       SHAREDRES_OBS_COUNT_N("io.bytes_read", line.size() + 1);
       if (line.empty()) continue;
-      const std::string want = "# sharedres " + kind + " v1";
-      if (line != want) fail("expected header '" + want + "'");
-      return;
+      const std::string prefix = "# sharedres " + kind + " v";
+      for (int v = 1; v <= max_version; ++v) {
+        if (line == prefix + std::to_string(v)) return v;
+      }
+      fail(max_version == 1
+               ? "expected header '" + prefix + "1'"
+               : "expected header '" + prefix + "1'..'" + prefix +
+                     std::to_string(max_version) + "'");
     }
     fail("missing header");
   }
@@ -108,34 +121,89 @@ class Reader {
 
 void write_instance(std::ostream& os, const core::Instance& instance) {
   SHAREDRES_OBS_COUNT("io.instances_written");
-  os << "# sharedres instance v1\n";
+  const std::size_t d = instance.resource_count();
+  if (d == 1) {
+    // Single-resource instances keep the historical v1 bytes exactly.
+    os << "# sharedres instance v1\n";
+    os << "machines " << instance.machines() << "\n";
+    os << "capacity " << instance.capacity() << "\n";
+    os << "jobs " << instance.size() << "\n";
+    for (const core::Job& job : instance.jobs()) {
+      os << "job " << job.size << " " << job.requirement << "\n";
+    }
+    return;
+  }
+  os << "# sharedres instance v2\n";
   os << "machines " << instance.machines() << "\n";
-  os << "capacity " << instance.capacity() << "\n";
+  os << "resources " << d << "\n";
+  os << "capacity";
+  for (std::size_t k = 0; k < d; ++k) os << " " << instance.capacity(k);
+  os << "\n";
   os << "jobs " << instance.size() << "\n";
-  for (const core::Job& job : instance.jobs()) {
-    os << "job " << job.size << " " << job.requirement << "\n";
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    os << "job " << instance.job(j).size;
+    for (std::size_t k = 0; k < d; ++k) os << " " << instance.requirement(j, k);
+    os << "\n";
   }
 }
 
 core::Instance read_instance(std::istream& is) {
   Reader r(is);
-  r.expect_header("instance");
+  const int version = r.expect_header_version("instance", 2);
   const auto machines = static_cast<int>(r.expect_kv("machines"));
-  const core::Res capacity = r.expect_kv("capacity");
+  if (version == 1) {
+    const core::Res capacity = r.expect_kv("capacity");
+    const util::i64 n = r.expect_kv("jobs");
+    std::vector<core::Job> jobs;
+    jobs.reserve(static_cast<std::size_t>(n));
+    for (util::i64 i = 0; i < n; ++i) {
+      const auto tokens = r.next_line();
+      if (tokens.size() != 3 || tokens[0].text != "job") {
+        r.fail("expected 'job <size> <requirement>'");
+      }
+      jobs.push_back(core::Job{r.to_int(tokens[1]), r.to_int(tokens[2])});
+    }
+    SHAREDRES_OBS_COUNT("io.instances_read");
+    SHAREDRES_OBS_OBSERVE("io.instance_jobs",
+                          ({1, 10, 100, 1000, 10000, 100000}), n);
+    return core::Instance(machines, capacity, std::move(jobs));
+  }
+  const util::i64 resources = r.expect_kv("resources");
+  if (resources < 1 ||
+      resources > static_cast<util::i64>(core::kMaxResources)) {
+    r.fail("resources must be in [1, " +
+           std::to_string(core::kMaxResources) + "]");
+  }
+  const auto d = static_cast<std::size_t>(resources);
+  const auto cap_tokens = r.next_line();
+  if (cap_tokens.size() != 1 + d || cap_tokens[0].text != "capacity") {
+    r.fail("expected 'capacity <c0> ... <c" + std::to_string(d - 1) + ">'");
+  }
+  std::vector<core::Res> capacities(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    capacities[k] = r.to_int(cap_tokens[1 + k]);
+  }
   const util::i64 n = r.expect_kv("jobs");
-  std::vector<core::Job> jobs;
+  std::vector<core::MultiJob> jobs;
   jobs.reserve(static_cast<std::size_t>(n));
   for (util::i64 i = 0; i < n; ++i) {
     const auto tokens = r.next_line();
-    if (tokens.size() != 3 || tokens[0].text != "job") {
-      r.fail("expected 'job <size> <requirement>'");
+    if (tokens.size() != 2 + d || tokens[0].text != "job") {
+      r.fail("expected 'job <size> <r0> ... <r" + std::to_string(d - 1) +
+             ">'");
     }
-    jobs.push_back(core::Job{r.to_int(tokens[1]), r.to_int(tokens[2])});
+    core::MultiJob job;
+    job.size = r.to_int(tokens[1]);
+    job.requirements.resize(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      job.requirements[k] = r.to_int(tokens[2 + k]);
+    }
+    jobs.push_back(std::move(job));
   }
   SHAREDRES_OBS_COUNT("io.instances_read");
   SHAREDRES_OBS_OBSERVE("io.instance_jobs", ({1, 10, 100, 1000, 10000, 100000}),
                         n);
-  return core::Instance(machines, capacity, std::move(jobs));
+  return core::Instance(machines, std::move(capacities), std::move(jobs));
 }
 
 void write_schedule(std::ostream& os, const core::Schedule& schedule) {

@@ -23,6 +23,21 @@
 // mandatory header). Readers throw util::Error (code kParse) carrying the
 // 1-based line and column of the offending token; file wrappers throw
 // util::Error (code kIo) when a path cannot be opened.
+//
+// d-resource instances (d > 1) use `# sharedres instance v2`:
+//
+//   # sharedres instance v2
+//   machines 4
+//   resources 2
+//   capacity 100 60
+//   jobs 2
+//   job 3 40 12
+//   job 1 25 5
+//
+// `capacity` lists all d capacities; `job p r0 r1 ...` lists the size then
+// one requirement per resource. write_instance emits v1 byte-identically
+// for single-resource instances and v2 otherwise; read_instance accepts
+// both versions. All other kinds remain v1-only.
 #pragma once
 
 #include <iosfwd>

@@ -57,7 +57,8 @@
 namespace sharedres::service {
 
 struct ServiceOptions {
-  /// window | unit | gg | equalsplit | sequential. Validated by the CLI.
+  /// window | unit | gg | equalsplit | sequential | multires. Validated by
+  /// the CLI.
   std::string algorithm = "window";
   /// Worker threads (>= 1; the service always runs its pool, unlike batch's
   /// inline path — a daemon must keep accepting while a solve runs).

@@ -1,0 +1,132 @@
+#include "workloads/multires_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sharedres::workloads {
+
+namespace {
+
+using core::Instance;
+using core::MultiJob;
+using core::Res;
+
+Res clamp_units(double frac, Res capacity) {
+  const double units = frac * static_cast<double>(capacity);
+  const double clamped = std::min(std::max(units, 1.0), 9.0e17);
+  return std::clamp<Res>(static_cast<Res>(std::llround(clamped)), 1, capacity);
+}
+
+Res draw_size(util::Rng& rng, const MultiResConfig& cfg) {
+  return cfg.max_size <= 1 ? 1 : rng.uniform_int(1, cfg.max_size);
+}
+
+void check_config(const MultiResConfig& cfg) {
+  if (cfg.resources < 1 || cfg.resources > core::kMaxResources) {
+    throw std::invalid_argument("multires generator: resources must be in [1, " +
+                                std::to_string(core::kMaxResources) + "]");
+  }
+}
+
+Instance build(const MultiResConfig& cfg, std::vector<MultiJob> jobs) {
+  std::vector<Res> capacities(cfg.resources, cfg.capacity);
+  return Instance(cfg.machines, std::move(capacities), std::move(jobs));
+}
+
+}  // namespace
+
+Instance correlated_multires_instance(const MultiResConfig& cfg,
+                                      double lo_frac, double hi_frac) {
+  check_config(cfg);
+  util::Rng rng(cfg.seed);
+  std::vector<MultiJob> jobs(cfg.jobs);
+  for (MultiJob& job : jobs) {
+    job.size = draw_size(rng, cfg);
+    const double base = rng.uniform_real(lo_frac, hi_frac);
+    job.requirements.resize(cfg.resources);
+    job.requirements[0] = clamp_units(base, cfg.capacity);
+    for (std::size_t k = 1; k < cfg.resources; ++k) {
+      job.requirements[k] =
+          clamp_units(base * rng.uniform_real(0.75, 1.25), cfg.capacity);
+    }
+  }
+  return build(cfg, std::move(jobs));
+}
+
+Instance anticorrelated_multires_instance(const MultiResConfig& cfg,
+                                          double heavy_frac,
+                                          double light_frac) {
+  check_config(cfg);
+  util::Rng rng(cfg.seed);
+  std::vector<MultiJob> jobs(cfg.jobs);
+  for (MultiJob& job : jobs) {
+    job.size = draw_size(rng, cfg);
+    job.requirements.resize(cfg.resources);
+    // One randomly chosen heavy axis per job; the rest stay light. With
+    // d = 2 this is the classic CPU-bound/IO-bound dichotomy.
+    const auto heavy_axis = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg.resources) - 1));
+    for (std::size_t k = 0; k < cfg.resources; ++k) {
+      const double base = (k == heavy_axis) ? heavy_frac : light_frac;
+      job.requirements[k] =
+          clamp_units(base * rng.uniform_real(0.8, 1.2), cfg.capacity);
+    }
+  }
+  return build(cfg, std::move(jobs));
+}
+
+Instance vmpack_multires_instance(const MultiResConfig& cfg) {
+  check_config(cfg);
+  util::Rng rng(cfg.seed);
+  // Flavour footprints as capacity fractions, axis k cycling through the
+  // row (so every axis sees every footprint class at d ≤ 4).
+  struct Flavour {
+    double fracs[4];
+    double weight;
+  };
+  static constexpr Flavour kFlavours[] = {
+      {{0.05, 0.05, 0.05, 0.05}, 0.50},  // small: balanced
+      {{0.15, 0.10, 0.05, 0.10}, 0.30},  // medium: mildly skewed
+      {{0.40, 0.25, 0.15, 0.20}, 0.15},  // large: heavy everywhere
+      {{0.10, 0.45, 0.05, 0.30}, 0.05},  // burst: secondary-axis heavy
+  };
+  std::vector<MultiJob> jobs(cfg.jobs);
+  for (MultiJob& job : jobs) {
+    job.size = draw_size(rng, cfg);
+    const double pick = rng.uniform01();
+    double acc = 0.0;
+    const Flavour* flavour = &kFlavours[0];
+    for (const Flavour& f : kFlavours) {
+      acc += f.weight;
+      if (pick < acc) {
+        flavour = &f;
+        break;
+      }
+    }
+    job.requirements.resize(cfg.resources);
+    for (std::size_t k = 0; k < cfg.resources; ++k) {
+      const double base = flavour->fracs[k % 4];
+      job.requirements[k] =
+          clamp_units(base * rng.uniform_real(0.9, 1.1), cfg.capacity);
+    }
+  }
+  return build(cfg, std::move(jobs));
+}
+
+Instance make_multires_instance(const std::string& family,
+                                const MultiResConfig& cfg) {
+  if (family == "correlated") return correlated_multires_instance(cfg);
+  if (family == "anticorrelated") return anticorrelated_multires_instance(cfg);
+  if (family == "vmpack") return vmpack_multires_instance(cfg);
+  throw std::invalid_argument("unknown multires family: " + family);
+}
+
+const std::vector<std::string>& multires_families() {
+  static const std::vector<std::string> kFamilies = {
+      "correlated", "anticorrelated", "vmpack"};
+  return kFamilies;
+}
+
+}  // namespace sharedres::workloads

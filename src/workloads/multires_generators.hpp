@@ -1,0 +1,64 @@
+// Synthetic d-resource instance generators (E18 substrate).
+//
+// The d-resource extension (DESIGN.md §16) schedules jobs that consume
+// several shared resources at once; these families exercise the regimes
+// that distinguish a multi-resource packer from d independent 1-d ones:
+//
+//   * "correlated"      — r_{j,k} tracks r_{j,0} (±25% jitter): one axis is
+//                         nearly binding and the others are almost free, so
+//                         a good d-schedule looks like a good 1-d schedule.
+//   * "anticorrelated"  — heavy on axis 0 ⇒ light on the others and vice
+//                         versa: pairing complementary jobs is the whole
+//                         game (the classic "CPU-bound vs IO-bound" mix).
+//   * "vmpack"          — VM-packing flavour: a few discrete flavours
+//                         (small/medium/large/burst) with fixed per-axis
+//                         footprints plus jitter, mimicking multi-dimensional
+//                         bin packing traces.
+//
+// All generators are deterministic given (seed, parameters), draw through
+// util::Rng only, and clamp every requirement to [1, C_k] so the rigid
+// d-resource engine accepts every generated job. resources == 1 degenerates
+// to ordinary single-resource instances (useful for the d=1 pin tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace sharedres::workloads {
+
+/// Common knobs for the d-resource generators.
+struct MultiResConfig {
+  int machines = 8;
+  std::size_t resources = 2;       ///< d, in [1, core::kMaxResources]
+  core::Res capacity = 1'000'000;  ///< per-axis capacity (same on every axis)
+  std::size_t jobs = 64;
+  core::Res max_size = 1;  ///< p_j drawn uniformly from [1, max_size]
+  std::uint64_t seed = 1;
+};
+
+/// Secondary requirements proportional to the primary one (±25% jitter).
+core::Instance correlated_multires_instance(const MultiResConfig& cfg,
+                                            double lo_frac = 0.02,
+                                            double hi_frac = 0.5);
+
+/// Per-job budget split adversarially: jobs heavy on one axis are light on
+/// the others, so axes saturate only under complementary pairings.
+core::Instance anticorrelated_multires_instance(const MultiResConfig& cfg,
+                                                double heavy_frac = 0.55,
+                                                double light_frac = 0.05);
+
+/// Discrete VM flavours with fixed per-axis footprints plus ±20% jitter.
+core::Instance vmpack_multires_instance(const MultiResConfig& cfg);
+
+/// Named dispatch: "correlated", "anticorrelated", "vmpack". Throws
+/// std::invalid_argument on unknown names.
+core::Instance make_multires_instance(const std::string& family,
+                                      const MultiResConfig& cfg);
+
+/// The list of family names accepted by make_multires_instance.
+const std::vector<std::string>& multires_families();
+
+}  // namespace sharedres::workloads

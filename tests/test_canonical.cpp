@@ -22,6 +22,7 @@
 #include "cache/canonical.hpp"
 #include "cache/solve_cache.hpp"
 #include "core/lower_bounds.hpp"
+#include "core/multires_scheduler.hpp"
 #include "core/sos_scheduler.hpp"
 #include "workloads/sos_generators.hpp"
 
@@ -204,6 +205,153 @@ TEST(Canonical, DecanonicalizeRoundTrip) {
                                 form.scale),
         core::schedule_sos(inst));
   }
+}
+
+// ---- d-resource canonicalization (DESIGN.md §16) ---------------------------
+
+using core::MultiJob;
+
+Instance axis_scaled(const Instance& inst, const std::vector<Res>& factors) {
+  const std::size_t d = inst.resource_count();
+  std::vector<Res> caps(d);
+  for (std::size_t k = 0; k < d; ++k) caps[k] = inst.capacity(k) * factors[k];
+  std::vector<MultiJob> jobs(inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    jobs[j].size = inst.sizes()[j];
+    jobs[j].requirements.resize(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      jobs[j].requirements[k] = inst.requirement(j, k) * factors[k];
+    }
+  }
+  return Instance(inst.machines(), std::move(caps), std::move(jobs));
+}
+
+Instance axes_permuted(const Instance& inst,
+                       const std::vector<std::size_t>& perm) {
+  // perm maps new axis position -> source axis; perm[0] must be 0.
+  const std::size_t d = inst.resource_count();
+  std::vector<Res> caps(d);
+  for (std::size_t k = 0; k < d; ++k) caps[k] = inst.capacity(perm[k]);
+  std::vector<MultiJob> jobs(inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    jobs[j].size = inst.sizes()[j];
+    jobs[j].requirements.resize(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      jobs[j].requirements[k] = inst.requirement(j, perm[k]);
+    }
+  }
+  return Instance(inst.machines(), std::move(caps), std::move(jobs));
+}
+
+TEST(CanonicalMultiRes, D1KeyIsByteIdenticalToClassicFormat) {
+  // The multi-axis constructor at d = 1 and the classic constructor must
+  // produce the same key bytes — old cache keys stay valid.
+  const Instance classic(3, 12, {Job{2, 6}, Job{1, 9}});
+  const Instance multi(3, {12}, {MultiJob{2, {6}}, MultiJob{1, {9}}});
+  const CanonicalForm a = canonicalize(classic);
+  const CanonicalForm b = canonicalize(multi);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.key[0], cache::kKeyFormatVersion);
+  EXPECT_EQ(a.key[1], 1);  // dimension byte
+  ASSERT_EQ(a.axis_scales.size(), 1u);
+  EXPECT_EQ(a.axis_scales[0], a.scale);
+}
+
+TEST(CanonicalMultiRes, PerAxisScalingEquivariance) {
+  const Instance inst(3, {12, 30},
+                      {MultiJob{2, {6, 10}}, MultiJob{1, {9, 25}}});
+  const CanonicalForm base = canonicalize(inst);
+  // gcd(12,6,9) = 3 on axis 0; gcd(30,10,25) = 5 on axis 1.
+  EXPECT_EQ(base.scale, 3);
+  ASSERT_EQ(base.axis_scales.size(), 2u);
+  const Instance big = axis_scaled(inst, {2, 7});
+  const CanonicalForm other = canonicalize(big);
+  EXPECT_EQ(other.key, base.key);
+  EXPECT_EQ(other.hash, base.hash);
+  EXPECT_EQ(other.scale, base.scale * 2);
+  // Schedules of source and scaled twin differ exactly by primary · factor.
+  EXPECT_EQ(core::schedule_multires(big),
+            share_scaled(core::schedule_multires(inst), 2));
+}
+
+TEST(CanonicalMultiRes, ResourcePermutationInvarianceWhenTieFree) {
+  // No two jobs tie on (r0, p), so secondary axes may be reordered freely:
+  // all orderings of axes 1..d-1 share one key.
+  const Instance inst(3, {20, 12, 8},
+                      {MultiJob{1, {4, 6, 2}}, MultiJob{2, {7, 3, 5}},
+                       MultiJob{1, {11, 9, 1}}});
+  const CanonicalForm base = canonicalize(inst);
+  const CanonicalForm swapped = canonicalize(axes_permuted(inst, {0, 2, 1}));
+  EXPECT_EQ(swapped.key, base.key);
+  EXPECT_EQ(swapped.hash, base.hash);
+  // The primary axis is semantically distinguished: swapping it INTO a
+  // secondary slot must change the key (progress is credited in axis-0
+  // units). Note axis 0 and 1 here have different content.
+  const CanonicalForm primary_moved =
+      canonicalize(Instance(3, {12, 20, 8},
+                            {MultiJob{1, {6, 4, 2}}, MultiJob{2, {3, 7, 5}},
+                             MultiJob{1, {9, 11, 1}}}));
+  EXPECT_NE(primary_moved.key, base.key);
+}
+
+TEST(CanonicalMultiRes, SecondaryTieFallsBackToSourceAxisOrder) {
+  // Jobs 0 and 1 tie on (r0, p) but differ on axis 1, so the canonicalizer
+  // must keep σ = identity (reordering axes would reorder the tied jobs and
+  // break the schedule mapping) — even though the content sort would place
+  // axis 2 (normalized capacity 1) before axis 1 (normalized capacity 4).
+  // The canonical job order must equal the source sorted order in every
+  // case — checked via instance().
+  const Instance inst(2, {10, 8, 2},
+                      {MultiJob{1, {5, 4, 2}}, MultiJob{1, {5, 2, 2}}});
+  const CanonicalForm form = canonicalize(inst);
+  ASSERT_EQ(form.axis_order.size(), 3u);
+  EXPECT_EQ(form.axis_order[0], 0);
+  EXPECT_EQ(form.axis_order[1], 1);
+  EXPECT_EQ(form.axis_order[2], 2);
+  const Instance canon = form.instance();
+  ASSERT_EQ(canon.size(), inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    EXPECT_EQ(canon.sizes()[j], inst.sizes()[j]);
+    for (std::size_t k = 0; k < inst.resource_count(); ++k) {
+      EXPECT_EQ(canon.requirement(j, k) * form.axis_scales[k],
+                inst.requirement(j, k));
+    }
+  }
+}
+
+TEST(CanonicalMultiRes, IdempotenceAtHigherDimensions) {
+  const Instance inst(4, {24, 18, 10},
+                      {MultiJob{2, {8, 6, 5}}, MultiJob{1, {12, 9, 10}}});
+  const CanonicalForm once = canonicalize(inst);
+  const CanonicalForm twice = canonicalize(once.instance());
+  EXPECT_EQ(twice.key, once.key);
+  EXPECT_EQ(twice.hash, once.hash);
+  EXPECT_EQ(twice.scale, 1);
+  for (const Res s : twice.axis_scales) EXPECT_EQ(s, 1);
+  for (std::size_t k = 0; k < twice.axis_order.size(); ++k) {
+    EXPECT_EQ(twice.axis_order[k], k);  // already in canonical axis order
+  }
+}
+
+TEST(CanonicalMultiRes, JobPermutationInvarianceAtD2) {
+  const std::vector<MultiJob> jobs = {MultiJob{1, {4, 6}}, MultiJob{2, {7, 3}},
+                                      MultiJob{1, {2, 9}}};
+  std::vector<MultiJob> reversed(jobs.rbegin(), jobs.rend());
+  const CanonicalForm a = canonicalize(Instance(3, {20, 12}, jobs));
+  const CanonicalForm b =
+      canonicalize(Instance(3, {20, 12}, std::move(reversed)));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(CanonicalMultiRes, DimensionSeparatesKeys) {
+  // A d = 2 instance whose secondary axis is all-slack must still key
+  // differently from its d = 1 projection: the validator semantics differ.
+  const CanonicalForm one = canonicalize(Instance(3, 10, {Job{1, 5}}));
+  const CanonicalForm two =
+      canonicalize(Instance(3, {10, 1}, {MultiJob{1, {5, 1}}}));
+  EXPECT_NE(one.key, two.key);
 }
 
 // ---- SolveCache ------------------------------------------------------------

@@ -2,10 +2,11 @@
 //
 //   sharedres_cli gen      --family=uniform --machines=8 --jobs=100
 //                          [--capacity=1000000] [--max-size=4] [--seed=1]
-//                          [--count=N --format=ndjson] [--out=inst.txt]
+//                          [--resources=d] [--count=N --format=ndjson]
+//                          [--out=inst.txt]
 //   sharedres_cli solve    --instance=inst.txt
 //                          [--algorithm=window|unit|improved|gg|equalsplit|
-//                           sequential]
+//                           sequential|multires]
 //                          [--out=sched.txt] [--gantt]
 //   sharedres_cli validate --instance=inst.txt --schedule=sched.txt [--json]
 //   sharedres_cli bounds   --instance=inst.txt
@@ -65,6 +66,7 @@
 #include "core/lower_bounds.hpp"
 #include "obs/json_export.hpp"
 #include "core/improved_scheduler.hpp"
+#include "core/multires_scheduler.hpp"
 #include "core/sos_scheduler.hpp"
 #include "core/validator.hpp"
 #include "io/text_io.hpp"
@@ -82,6 +84,7 @@
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/parallel.hpp"
+#include "workloads/multires_generators.hpp"
 #include "workloads/sos_generators.hpp"
 #include "workloads/traffic.hpp"
 
@@ -100,12 +103,12 @@ int usage() {
       << "usage: sharedres_cli "
          "<gen|solve|validate|bounds|pack|sas|batch|serve|loadgen|failpoints> "
          "[--flags]\n"
-         "  gen      --family=... --machines=M --jobs=N [--count=K "
-         "--format=ndjson] [--out=f]\n"
+         "  gen      --family=... --machines=M --jobs=N [--resources=d] "
+         "[--count=K --format=ndjson] [--out=f]\n"
          "  solve    --instance=f [--algorithm=window|unit|improved|gg|"
          "equalsplit|"
-         "sequential] [--parallel=N] [--gantt] [--stats] [--svg=f.svg] "
-         "[--out=f]\n"
+         "sequential|multires] [--parallel=N] [--gantt] [--stats] "
+         "[--svg=f.svg] [--out=f]\n"
          "  validate --instance=f --schedule=f [--json] [--max-violations=N]\n"
          "  bounds   --instance=f\n"
          "  pack     --instance=<packing file> [--algorithm=window|nextfit|"
@@ -140,6 +143,26 @@ int cmd_gen(const util::Cli& cli) {
   const std::string family = cli.get("family", "uniform");
   const std::string format = cli.get("format", "text");
   const std::int64_t count = cli.get_int("count", 1);
+  const std::int64_t resources = cli.get_int("resources", 1);
+  if (resources < 1 ||
+      resources > static_cast<std::int64_t>(core::kMaxResources)) {
+    std::cerr << "gen: --resources must be in [1, " << core::kMaxResources
+              << "]\n";
+    return kExitUsage;
+  }
+  // --resources=d (d > 1) switches to the d-resource families
+  // (workloads/multires_generators.hpp): correlated, anticorrelated, vmpack.
+  workloads::MultiResConfig mcfg;
+  mcfg.machines = cfg.machines;
+  mcfg.resources = static_cast<std::size_t>(resources);
+  mcfg.capacity = cfg.capacity;
+  mcfg.jobs = cfg.jobs;
+  mcfg.max_size = cfg.max_size;
+  const auto make = [&]() {
+    mcfg.seed = cfg.seed;
+    return resources > 1 ? workloads::make_multires_instance(family, mcfg)
+                         : workloads::make_instance(family, cfg);
+  };
   if (format != "text" && format != "ndjson") {
     std::cerr << "gen: unknown --format=" << format << "\n";
     return kExitUsage;
@@ -168,7 +191,7 @@ int cmd_gen(const util::Cli& cli) {
     }
     std::ostream& os = out.empty() ? std::cout : file;
     for (std::int64_t k = 0; k < count; ++k) {
-      const core::Instance inst = workloads::make_instance(family, cfg);
+      const core::Instance inst = make();
       os << batch::format_instance_record(
                 inst, family + "-s" + std::to_string(cfg.seed))
          << "\n";
@@ -180,7 +203,7 @@ int cmd_gen(const util::Cli& cli) {
     return kExitOk;
   }
 
-  const core::Instance inst = workloads::make_instance(family, cfg);
+  const core::Instance inst = make();
   if (out.empty()) {
     io::write_instance(std::cout, inst);
   } else {
@@ -234,7 +257,8 @@ int cmd_batch(const util::Cli& cli) {
   // (exit 2), before any input is touched — same policy as `solve`.
   if (options.algorithm != "window" && options.algorithm != "unit" &&
       options.algorithm != "improved" && options.algorithm != "gg" &&
-      options.algorithm != "equalsplit" && options.algorithm != "sequential") {
+      options.algorithm != "equalsplit" && options.algorithm != "sequential" &&
+      options.algorithm != "multires") {
     std::cerr << "batch: unknown --algorithm=" << options.algorithm << "\n";
     return kExitUsage;
   }
@@ -335,7 +359,8 @@ int cmd_serve(const util::Cli& cli) {
   options.algorithm = cli.get("algorithm", "window");
   if (options.algorithm != "window" && options.algorithm != "unit" &&
       options.algorithm != "improved" && options.algorithm != "gg" &&
-      options.algorithm != "equalsplit" && options.algorithm != "sequential") {
+      options.algorithm != "equalsplit" && options.algorithm != "sequential" &&
+      options.algorithm != "multires") {
     std::cerr << "serve: unknown --algorithm=" << options.algorithm << "\n";
     return kExitUsage;
   }
@@ -825,7 +850,8 @@ int cmd_solve(const util::Cli& cli) {
   const std::string algorithm = cli.get("algorithm", "window");
   if (algorithm != "window" && algorithm != "unit" &&
       algorithm != "improved" && algorithm != "gg" &&
-      algorithm != "equalsplit" && algorithm != "sequential") {
+      algorithm != "equalsplit" && algorithm != "sequential" &&
+      algorithm != "multires") {
     std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
     return kExitUsage;
   }
@@ -863,6 +889,8 @@ int cmd_solve(const util::Cli& cli) {
     schedule = baselines::schedule_equal_split(inst);
   } else if (algorithm == "sequential") {
     schedule = baselines::schedule_sequential(inst);
+  } else if (algorithm == "multires") {
+    schedule = core::schedule_multires(inst);
   } else {
     std::cerr << "solve: unknown --algorithm=" << algorithm << "\n";
     return kExitUsage;
